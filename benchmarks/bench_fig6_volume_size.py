@@ -1,0 +1,158 @@
+"""Figure 6 — fragmentation on 40 GB vs 400 GB volumes (three panels).
+
+The paper varies volume size and occupancy with 10 MB objects:
+
+* At 50% full, the filesystem benefits from a large pool of free
+  objects: the 400 GB volume converges to 4-5 fragments/object while
+  the 40 GB volume converges to 11-12.
+* At 90% and 97.5% full, "volume size has little impact on
+  fragmentation" — the ratio of free space to object size is what
+  matters, and it is small in both cases.
+
+Scaled volumes: 1 GB and 4 GB stand in for 40 GB and 400 GB (the 10x
+pool ratio is preserved; see DESIGN.md §3).
+"""
+
+from repro.analysis.compare import ShapeCheck, check_between, check_faster
+from repro.analysis.tables import render_series_table
+from repro.core.workload import ConstantSize
+from repro.units import MB
+
+import paperfig
+
+
+def compute():
+    results = {}
+    cells = [
+        ("filesystem", paperfig.SMALL_VOLUME, 0.5),
+        ("filesystem", paperfig.LARGE_VOLUME, 0.5),
+        ("filesystem", paperfig.SMALL_VOLUME, 0.9),
+        ("filesystem", paperfig.LARGE_VOLUME, 0.9),
+        # At 97.5% the 1 GB stand-in would leave a pool of just 2.5
+        # objects — the degenerate small-pool regime the paper calls
+        # out separately in §5.4 — so this panel steps both volumes up
+        # one notch to stay in the regime the figure plots.
+        ("filesystem", paperfig.DEFAULT_VOLUME, 0.975),
+        ("filesystem", paperfig.XL_VOLUME, 0.975),
+        ("database", paperfig.SMALL_VOLUME, 0.5),
+        ("database", paperfig.LARGE_VOLUME, 0.5),
+    ]
+    for backend, volume, occupancy in cells:
+        # The paper's DB panel only shows 50% full; churn its curves to
+        # age 5 like the figure does, the FS panels to age 10.
+        ages = tuple(
+            a for a in paperfig.FULL_AGES
+            if backend == "filesystem" or a <= 5.0
+        )
+        results[(backend, volume, occupancy)] = paperfig.run_curve(
+            backend, ConstantSize(10 * MB),
+            volume=volume, occupancy=occupancy, ages=ages,
+            reads_per_sample=8,
+        )
+    return results
+
+
+def _label(volume: int) -> str:
+    return {
+        paperfig.SMALL_VOLUME: "40G-scale",
+        paperfig.LARGE_VOLUME: "400G-scale",
+        paperfig.DEFAULT_VOLUME: "40G-scale*",
+        paperfig.XL_VOLUME: "400G-scale*",
+    }[volume]
+
+
+def render(results) -> str:
+    blocks = []
+    blocks.append(render_series_table(
+        "Figure 6a: Database Fragmentation: Different Volumes "
+        "(50% full, fragments/object)",
+        "Storage Age",
+        {
+            f"50% full - {_label(vol)}": paperfig.frag_series(
+                results[("database", vol, 0.5)])
+            for vol in (paperfig.SMALL_VOLUME, paperfig.LARGE_VOLUME)
+        },
+    ))
+    blocks.append(render_series_table(
+        "Figure 6b: Filesystem Fragmentation: Different Volumes "
+        "(50% full, fragments/object)",
+        "Storage Age",
+        {
+            f"50% full - {_label(vol)}": paperfig.frag_series(
+                results[("filesystem", vol, 0.5)])
+            for vol in (paperfig.SMALL_VOLUME, paperfig.LARGE_VOLUME)
+        },
+    ))
+    blocks.append(render_series_table(
+        "Figure 6c: Filesystem Fragmentation: Different Volumes "
+        "(90% / 97.5% full, fragments/object)",
+        "Storage Age",
+        {
+            f"{occ:.1%} full - {_label(vol)}": paperfig.frag_series(
+                results[("filesystem", vol, occ)])
+            for occ, vols in (
+                (0.9, (paperfig.SMALL_VOLUME, paperfig.LARGE_VOLUME)),
+                (0.975, (paperfig.DEFAULT_VOLUME, paperfig.XL_VOLUME)),
+            )
+            for vol in vols
+        },
+    ))
+    footer = ("Paper: at 50% full the large volume's big free pool keeps "
+              "NTFS at 4-5 fragments while the small volume converges to "
+              "11-12; at 90%+ volume size hardly matters.")
+    return "\n\n".join(blocks) + "\n" + footer
+
+
+def checks(results) -> list[ShapeCheck]:
+    fs_small_50 = paperfig.frag_series(
+        results[("filesystem", paperfig.SMALL_VOLUME, 0.5)])[-1][1]
+    fs_large_50 = paperfig.frag_series(
+        results[("filesystem", paperfig.LARGE_VOLUME, 0.5)])[-1][1]
+    fs_small_90 = paperfig.frag_series(
+        results[("filesystem", paperfig.SMALL_VOLUME, 0.9)])[-1][1]
+    fs_large_90 = paperfig.frag_series(
+        results[("filesystem", paperfig.LARGE_VOLUME, 0.9)])[-1][1]
+    fs_small_97 = paperfig.frag_series(
+        results[("filesystem", paperfig.DEFAULT_VOLUME, 0.975)])[-1][1]
+    fs_large_97 = paperfig.frag_series(
+        results[("filesystem", paperfig.XL_VOLUME, 0.975)])[-1][1]
+    db_small = paperfig.frag_series(
+        results[("database", paperfig.SMALL_VOLUME, 0.5)])[-1][1]
+    db_large = paperfig.frag_series(
+        results[("database", paperfig.LARGE_VOLUME, 0.5)])[-1][1]
+    return [
+        check_faster(
+            "at 50% full the small volume fragments worse (free pool)",
+            fs_small_50, fs_large_50, min_ratio=1.5,
+        ),
+        check_between(
+            "at 90% full volume size has little impact",
+            fs_small_90 / fs_large_90, 0.6, 1.8,
+        ),
+        check_between(
+            "at 97.5% full volume size has little impact",
+            fs_small_97 / fs_large_97, 0.6, 1.8,
+        ),
+        check_faster(
+            "occupancy dominates: 90% full beats 50% full handily",
+            fs_small_90, fs_small_50,
+        ),
+        check_between(
+            "database at 50% full: volume size has modest impact",
+            db_small / db_large, 0.4, 2.5,
+        ),
+    ]
+
+
+def test_fig6_volume_size(benchmark):
+    results = paperfig.bench_once(benchmark, compute)
+    print()
+    print(render(results))
+    paperfig.report_checks(checks(results))
+
+
+if __name__ == "__main__":
+    res = compute()
+    print(render(res))
+    for check in checks(res):
+        print(check)

@@ -1,0 +1,120 @@
+"""Shared infrastructure for the per-figure benchmarks.
+
+Every bench in this directory regenerates one table or figure from the
+paper's evaluation (Section 5) on scaled volumes (see DESIGN.md §3: the
+free-object-pool and request-size ratios that the paper says govern the
+curves are preserved; absolute volume sizes shrink so a bench takes
+seconds instead of the paper's week).  Pass ``--paper-scale`` when
+running a bench standalone to use the original 40/400 GB volumes.
+
+Each bench is simultaneously:
+* a pytest-benchmark test (``pytest benchmarks/ --benchmark-only``) that
+  times the experiment once and asserts the paper's qualitative shapes;
+* a standalone script (``python benchmarks/bench_figN_*.py``) that
+  prints the regenerated table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.compare import ShapeCheck
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.results import RunResult
+from repro.core.workload import SizeDistribution
+from repro.units import GB, MB
+
+#: Scaled stand-ins for the paper's volumes.  The paper's 40 GB and
+#: 400 GB volumes at 10 MB objects hold 4 k / 40 k objects; our scaled
+#: volumes preserve the tenfold pool ratio at bench-friendly sizes.
+SMALL_VOLUME = 1 * GB     # plays the paper's 40 GB volume
+LARGE_VOLUME = 4 * GB     # plays the paper's 400 GB volume
+PAPER_SMALL_VOLUME = 40 * GB
+PAPER_LARGE_VOLUME = 400 * GB
+
+#: Default volume for single-volume figures (1, 2, 3, 4, 5).
+DEFAULT_VOLUME = 2 * GB
+#: Larger stand-in used where the small volume's free pool would drop
+#: below ~5 objects (the degenerate regime the paper flags in §5.4:
+#: "on a 4GB volume with a pool of 40 free objects, performance
+#: degraded rapidly").
+XL_VOLUME = 8 * GB
+THROUGHPUT_VOLUME = 512 * MB
+
+FULL_AGES = tuple(float(a) for a in range(11))   # figures 2, 3, 5, 6
+SHORT_AGES = (0.0, 2.0, 4.0)                     # figures 1 and 4
+
+
+def paper_scale() -> bool:
+    return "--paper-scale" in sys.argv
+
+
+def scaled(volume: int) -> int:
+    """Swap in the paper's full-size volume under --paper-scale."""
+    if not paper_scale():
+        return volume
+    mapping = {
+        SMALL_VOLUME: PAPER_SMALL_VOLUME,
+        LARGE_VOLUME: PAPER_LARGE_VOLUME,
+        DEFAULT_VOLUME: PAPER_LARGE_VOLUME,
+        THROUGHPUT_VOLUME: PAPER_LARGE_VOLUME,
+    }
+    return mapping.get(volume, volume)
+
+
+def run_curve(backend: str, sizes: SizeDistribution, *,
+              volume: int = DEFAULT_VOLUME,
+              occupancy: float = 0.5,
+              ages: tuple[float, ...] = FULL_AGES,
+              reads_per_sample: int = 32,
+              seed: int = 7,
+              label: str = "",
+              **kwargs) -> RunResult:
+    """Run one curve of one figure."""
+    config = ExperimentConfig(
+        backend=backend,
+        sizes=sizes,
+        volume_bytes=scaled(volume),
+        occupancy=occupancy,
+        ages=ages,
+        reads_per_sample=reads_per_sample,
+        seed=seed,
+        label=label,
+        **kwargs,
+    )
+    return run_experiment(config)
+
+
+def frag_series(result: RunResult) -> list[tuple[float, float]]:
+    return [(round(s.age), s.fragments_per_object)
+            for s in result.samples]
+
+
+def read_series(result: RunResult) -> list[tuple[float, float]]:
+    return [(round(s.age), s.read_mbps / MB) for s in result.samples]
+
+
+def write_series(result: RunResult) -> list[tuple[float, float]]:
+    return [(round(s.age), s.write_mbps / MB) for s in result.samples]
+
+
+def report_checks(checks: list[ShapeCheck]) -> None:
+    """Print every shape check and assert they all hold."""
+    print()
+    print("Shape checks against the paper:")
+    for check in checks:
+        print(f"  {check}")
+    failed = [c for c in checks if not c.passed]
+    assert not failed, f"{len(failed)} shape check(s) failed: " + \
+        "; ".join(c.name for c in failed)
+
+
+def bench_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    Aging experiments are deterministic and expensive; statistical
+    repetition would only re-measure the same simulation.
+    """
+    if benchmark is None:
+        return fn()
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Quickstart: a large-object repository in ~40 lines.
+
+Creates a simulated 512 MB volume, stores objects on the filesystem
+backend, replaces one with a safe write, and prints the repository's
+built-in instrumentation: storage age and fragments/object.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BlockDevice,
+    FileBackend,
+    LargeObjectRepository,
+    MB,
+    scaled_disk,
+)
+
+
+def main() -> None:
+    # A simulated 512 MB volume with paper-like disk mechanics
+    # (7200 rpm, ~8.5 ms average seek, zoned transfer rates).
+    device = BlockDevice(scaled_disk(512 * MB))
+
+    # The paper's filesystem configuration: one file per object,
+    # metadata rows in a (simulated) database, safe-write updates.
+    repo = LargeObjectRepository(FileBackend(device))
+
+    # Store a few photo-sized objects.
+    for i in range(20):
+        repo.put(f"photo-{i:03d}", size=2 * MB)
+    print("after bulk load:   ", repo.describe())
+
+    # Users re-upload edited versions: each replace is a safe write
+    # (write temp file, force, atomic rename) — the old bytes become
+    # "dead" and storage age advances.
+    for _ in range(3):
+        for i in range(20):
+            repo.replace(f"photo-{i:03d}", size=2 * MB)
+    print("after three edits: ", repo.describe())
+
+    # Reads are timed against the disk model.
+    data_len = repo.meta("photo-007").size
+    repo.get("photo-007")
+    stats = device.stats
+    print(f"device so far:      {stats.total_bytes / MB:.0f} MB moved, "
+          f"{stats.seeks} seeks, {stats.busy_time_s:.2f} s modelled time")
+
+    # Fragments/object is the paper's fragmentation metric; 1.0 means
+    # every object is physically contiguous.
+    report = repo.fragment_report()
+    print(f"fragment histogram: {report.histogram(bins=[1, 2, 4, 8])}")
+    assert data_len == 2 * MB
+
+
+if __name__ == "__main__":
+    main()

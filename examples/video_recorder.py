@@ -1,0 +1,83 @@
+"""Personal video recorder: large transient objects.
+
+The paper's introduction: "applications such as personal video
+recorders and media subscription servers continuously allocate and
+delete large, transient objects."  This example models a PVR that
+records shows (large objects), keeps a rolling window, and deletes the
+oldest as the disk fills — a pure allocate/delete workload rather than
+safe-write churn.
+
+It compares the filesystem backend against the GFS-style chunk store
+(the related-work design built for exactly this pattern) and shows the
+trade: external fragmentation vs internal padding.
+
+Run:  python examples/video_recorder.py
+"""
+
+from collections import deque
+
+from repro import (
+    BlockDevice,
+    FileBackend,
+    GB,
+    GfsChunkBackend,
+    MB,
+    UniformSize,
+    fragment_report,
+    scaled_disk,
+)
+from repro.core.storage_age import StorageAgeTracker
+from repro.rng import substream
+
+VOLUME = 4 * GB
+#: Standard-definition half-hour to ninety-minute recordings.  GFS
+#: constrains records to a quarter of the chunk size, so the chunked
+#: store below uses 256 MB chunks (max record 64 MB).
+SHOW_SIZES = UniformSize(20 * MB, 60 * MB)
+RECORDINGS = 200
+
+
+def run_pvr(store, label: str) -> None:
+    rng = substream(99, label)
+    tracker = StorageAgeTracker()
+    window: deque[tuple[str, int]] = deque()
+    for episode in range(RECORDINGS):
+        size = SHOW_SIZES.draw(rng)
+        # Expire oldest recordings until the new one fits comfortably.
+        while store.free_bytes() < size + 128 * MB and window:
+            old_key, old_size = window.popleft()
+            store.delete(old_key)
+            tracker.on_delete(old_size)
+        key = f"{label}-ep{episode:04d}"
+        store.put(key, size=size)
+        tracker.on_put(size)
+        window.append((key, size))
+    report = fragment_report(store)
+    stats = store.store_stats()
+    print(f"{label:12s} kept {stats.objects:3d} shows "
+          f"({stats.live_bytes / GB:.2f} GB), storage age "
+          f"{tracker.storage_age:.1f}, "
+          f"{report.mean:.2f} fragments/show (max {report.max})")
+    if isinstance(store, GfsChunkBackend):
+        print(f"{'':12s} internal fragmentation "
+              f"{store.internal_fragmentation():.1%}, "
+              f"{store.gc_runs} chunk collections")
+
+
+def main() -> None:
+    print(f"PVR simulation: {RECORDINGS} recordings of "
+          f"{SHOW_SIZES} on a {VOLUME // GB} GB disk\n")
+    run_pvr(FileBackend(BlockDevice(scaled_disk(VOLUME))), "filesystem")
+    run_pvr(
+        GfsChunkBackend(BlockDevice(scaled_disk(VOLUME)),
+                        chunk_size=256 * MB),
+        "gfs-chunks",
+    )
+    print("\nThe FIFO deletion pattern is kind to allocators — freed "
+          "shows leave large, coalescing holes —\nso even the plain "
+          "filesystem stays nearly contiguous; the chunk store trades "
+          "a little capacity\n(padding) for a guarantee.")
+
+
+if __name__ == "__main__":
+    main()

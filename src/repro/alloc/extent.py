@@ -1,0 +1,113 @@
+"""The :class:`Extent` value type: a half-open byte range on a volume.
+
+Extents are the currency of every layer here — free-space indexes hold
+them, files and BLOBs map to lists of them, the device reads them, and
+the fragmentation analyzer counts maximal runs of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, order=True)
+class Extent:
+    """A contiguous byte range ``[start, start + length)``.
+
+    Ordering is by ``(start, length)``, which sorts address-ordered lists
+    the way allocators need.
+    """
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(f"extent start must be >= 0, got {self.start}")
+        if self.length <= 0:
+            raise ConfigError(f"extent length must be > 0, got {self.length}")
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset."""
+        return self.start + self.length
+
+    def contains(self, offset: int) -> bool:
+        return self.start <= offset < self.end
+
+    def contains_extent(self, other: Extent) -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: Extent) -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def adjacent_to(self, other: Extent) -> bool:
+        """True when the two extents touch without overlapping."""
+        return self.end == other.start or other.end == self.start
+
+    def merge(self, other: Extent) -> Extent:
+        """Union of two adjacent or overlapping extents."""
+        if not (self.overlaps(other) or self.adjacent_to(other)):
+            raise ConfigError(f"cannot merge disjoint extents {self}, {other}")
+        start = min(self.start, other.start)
+        end = max(self.end, other.end)
+        return Extent(start, end - start)
+
+    def split_at(self, offset: int) -> tuple[Extent, Extent]:
+        """Split into two pieces at an interior absolute ``offset``."""
+        if not (self.start < offset < self.end):
+            raise ConfigError(f"split offset {offset} not inside {self}")
+        return (Extent(self.start, offset - self.start),
+                Extent(offset, self.end - offset))
+
+    def take_front(self, length: int) -> tuple[Extent, Extent | None]:
+        """Carve ``length`` bytes off the front; returns (taken, remainder)."""
+        if length <= 0 or length > self.length:
+            raise ConfigError(f"cannot take {length} bytes from {self}")
+        taken = Extent(self.start, length)
+        if length == self.length:
+            return taken, None
+        return taken, Extent(self.start + length, self.length - length)
+
+    def take_back(self, length: int) -> tuple[Extent, Extent | None]:
+        """Carve ``length`` bytes off the back; returns (taken, remainder)."""
+        if length <= 0 or length > self.length:
+            raise ConfigError(f"cannot take {length} bytes from {self}")
+        taken = Extent(self.end - length, length)
+        if length == self.length:
+            return taken, None
+        return taken, Extent(self.start, self.length - length)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Extent({self.start}, +{self.length})"
+
+
+def coalesce(extents: list[Extent]) -> list[Extent]:
+    """Merge touching/overlapping extents into maximal runs, sorted.
+
+    Used by the fragmentation analyzer: the number of coalesced runs in an
+    object's extent list *is* its fragment count (a contiguous object has
+    one fragment, Figure 2's caption).
+
+    >>> coalesce([Extent(0, 10), Extent(10, 5), Extent(20, 5)])
+    [Extent(0, +15), Extent(20, +5)]
+    """
+    if not extents:
+        return []
+    ordered = sorted(extents, key=lambda e: e.start)
+    merged = [ordered[0]]
+    for ext in ordered[1:]:
+        last = merged[-1]
+        if ext.start <= last.end:
+            merged[-1] = Extent(last.start,
+                                max(last.end, ext.end) - last.start)
+        else:
+            merged.append(ext)
+    return merged
+
+
+def total_length(extents: list[Extent]) -> int:
+    """Sum of extent lengths (does not check for overlap)."""
+    return sum(e.length for e in extents)

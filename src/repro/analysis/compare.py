@@ -1,0 +1,144 @@
+"""Shape predicates: the paper's qualitative claims as checkable code.
+
+The reproduction contract (system prompt of DESIGN.md): absolute numbers
+need not match the 2005 testbed, but *who wins, by roughly what factor,
+and where the curves bend* must.  Each predicate returns a
+:class:`ShapeCheck` carrying a pass flag and a human explanation; benches
+print them and tests assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Series = list[tuple[float, float]]
+
+
+@dataclass
+class ShapeCheck:
+    """Outcome of one qualitative assertion."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        flag = "PASS" if self.passed else "FAIL"
+        return f"[{flag}] {self.name}: {self.detail}"
+
+
+def _values(series: Series) -> list[float]:
+    return [y for _, y in series]
+
+
+def check_monotonic_increase(name: str, series: Series, *,
+                             slack: float = 0.15) -> ShapeCheck:
+    """Values never drop by more than ``slack`` (relative) step to step."""
+    values = _values(series)
+    ok = all(
+        b >= a * (1 - slack) for a, b in zip(values, values[1:])
+    )
+    return ShapeCheck(
+        name=name,
+        passed=ok,
+        detail=f"series {['%.2f' % v for v in values]} "
+               f"{'rises' if ok else 'dips more than slack'}",
+    )
+
+
+def check_levels_off(name: str, series: Series, *,
+                     late_fraction: float = 0.5,
+                     max_late_growth: float = 0.35) -> ShapeCheck:
+    """The curve approaches an asymptote: growth over the late portion
+    of the series is a small fraction of the total rise (NTFS in
+    Figure 2 "begins to level off over time")."""
+    values = _values(series)
+    if len(values) < 3:
+        return ShapeCheck(name, False, "too few points")
+    split = max(1, int(len(values) * (1 - late_fraction)))
+    total_rise = max(values) - values[0]
+    late_rise = values[-1] - values[split]
+    if total_rise <= 0:
+        return ShapeCheck(name, True, "flat series trivially levels off")
+    fraction = late_rise / total_rise
+    ok = fraction <= max_late_growth
+    return ShapeCheck(
+        name=name,
+        passed=ok,
+        detail=f"late-portion rise is {fraction:.0%} of total "
+               f"(limit {max_late_growth:.0%})",
+    )
+
+
+def check_keeps_growing(name: str, series: Series, *,
+                        late_fraction: float = 0.5,
+                        min_late_growth: float = 0.25) -> ShapeCheck:
+    """The curve does *not* approach an asymptote: a healthy share of
+    the total rise happens late (SQL Server in Figure 2 "increases
+    almost linearly ... and does not seem to be approaching any
+    asymptote")."""
+    values = _values(series)
+    if len(values) < 3:
+        return ShapeCheck(name, False, "too few points")
+    split = max(1, int(len(values) * (1 - late_fraction)))
+    total_rise = max(values) - values[0]
+    late_rise = values[-1] - values[split]
+    if total_rise <= 0:
+        return ShapeCheck(name, False, "series never grows")
+    fraction = late_rise / total_rise
+    ok = fraction >= min_late_growth
+    return ShapeCheck(
+        name=name,
+        passed=ok,
+        detail=f"late-portion rise is {fraction:.0%} of total "
+               f"(needs >= {min_late_growth:.0%})",
+    )
+
+
+def crossover_age(series_a: Series, series_b: Series) -> float | None:
+    """First x where series_a falls to or below series_b (None = never).
+
+    Used for the break-even analysis: the age at which the database's
+    read throughput drops under the filesystem's.
+    """
+    points_b = dict(series_b)
+    for x, ya in series_a:
+        yb = points_b.get(x)
+        if yb is None:
+            continue
+        if ya <= yb:
+            return x
+    return None
+
+
+def ratio(series: Series, x: float) -> float:
+    """Value at x divided by value at the first point (degradation)."""
+    lookup = dict(series)
+    first = series[0][1]
+    if first == 0:
+        return 0.0
+    return lookup[x] / first
+
+
+def check_between(name: str, value: float, lo: float,
+                  hi: float) -> ShapeCheck:
+    """Value falls in [lo, hi] — for the paper's quoted levels, e.g.
+    "converge to four fragments per file"."""
+    ok = lo <= value <= hi
+    return ShapeCheck(
+        name=name,
+        passed=ok,
+        detail=f"value {value:.2f} vs expected [{lo:g}, {hi:g}]",
+    )
+
+
+def check_faster(name: str, fast: float, slow: float, *,
+                 min_ratio: float = 1.0) -> ShapeCheck:
+    """``fast`` beats ``slow`` by at least ``min_ratio``."""
+    actual = fast / slow if slow > 0 else float("inf")
+    ok = actual >= min_ratio
+    return ShapeCheck(
+        name=name,
+        passed=ok,
+        detail=f"ratio {actual:.2f} (needs >= {min_ratio:.2f})",
+    )

@@ -1,0 +1,35 @@
+"""Object store backends: the two systems the paper compares, plus
+extension backends from its related-work section.
+
+* :class:`FileBackend` — metadata rows in a database, one file per
+  object on the simulated filesystem, safe-write updates (the paper's
+  NTFS configuration, Section 4.1).
+* :class:`BlobBackend` — metadata and out-of-row BLOBs in the simulated
+  database (the SQL Server configuration, Section 4.2).
+* :class:`GfsChunkBackend` — GFS-style fixed 64 MB chunks with record
+  append and padding (Section 3.4's related work, built to measure the
+  internal-fragmentation trade).
+* :class:`LfsBackend` — log-structured layout with a segment cleaner
+  (Section 3.4), the write-optimized extreme.
+
+All satisfy the :class:`ObjectStore` protocol, so the workload driver,
+fragmentation analyzer, and benches treat them interchangeably.
+"""
+
+from repro.backends.base import ObjectStore, ObjectMeta, StoreStats
+from repro.backends.costmodel import CostModel
+from repro.backends.file_backend import FileBackend
+from repro.backends.blob_backend import BlobBackend
+from repro.backends.gfs_backend import GfsChunkBackend
+from repro.backends.lfs_backend import LfsBackend
+
+__all__ = [
+    "ObjectStore",
+    "ObjectMeta",
+    "StoreStats",
+    "CostModel",
+    "FileBackend",
+    "BlobBackend",
+    "GfsChunkBackend",
+    "LfsBackend",
+]

@@ -1,0 +1,126 @@
+"""The get/put object store interface both systems implement.
+
+The paper's applications "make use of simple get/put storage
+primitives" (Section 4): allocate an object, read it, atomically replace
+it (safe write), delete it.  :class:`ObjectStore` is that contract; the
+experiment driver and all analysis tools are written against it, so a
+new backend only has to implement these methods to join every bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.alloc.extent import Extent
+from repro.disk.device import BlockDevice
+from repro.disk.iostats import WindowStats
+
+
+@dataclass(frozen=True)
+class ObjectMeta:
+    """What a store knows about one object."""
+
+    key: str
+    size: int
+    version: int
+
+
+@dataclass
+class StoreStats:
+    """Aggregate layout statistics for a whole store."""
+
+    objects: int
+    live_bytes: int
+    free_bytes: int
+    capacity: int
+
+    @property
+    def occupancy(self) -> float:
+        used = self.capacity - self.free_bytes
+        return used / self.capacity if self.capacity else 0.0
+
+
+@runtime_checkable
+class ObjectStore(Protocol):
+    """Get/put storage of large immutable-ish objects.
+
+    Data parameters: every write method accepts either ``size``
+    (timing-only simulation) or ``data`` (byte-exact, needed by the
+    marker analyzer and atomicity tests) — exactly one of the two.
+    """
+
+    name: str
+
+    def put(self, key: str, *, size: int | None = None,
+            data: bytes | None = None) -> None:
+        """Create a new object (bulk-load path)."""
+        ...
+
+    def get(self, key: str, offset: int = 0,
+            length: int | None = None) -> bytes | None:
+        """Read (a range of) an object; returns bytes when stored."""
+        ...
+
+    def overwrite(self, key: str, *, size: int | None = None,
+                  data: bytes | None = None) -> None:
+        """Atomically replace an object's contents (safe write)."""
+        ...
+
+    def delete(self, key: str) -> None:
+        """Remove an object and free its space (subject to deferral)."""
+        ...
+
+    def exists(self, key: str) -> bool: ...
+
+    def meta(self, key: str) -> ObjectMeta: ...
+
+    def keys(self) -> list[str]: ...
+
+    def object_extents(self, key: str) -> list[Extent]:
+        """Physical layout of the object's data, logical order."""
+        ...
+
+    def devices(self) -> list[BlockDevice]:
+        """Every device whose time contributes to elapsed time."""
+        ...
+
+    def free_bytes(self) -> int:
+        """Allocatable bytes right now (cheap; no per-object work)."""
+        ...
+
+    def store_stats(self) -> StoreStats: ...
+
+
+class MeasurementWindows:
+    """Open one named window per device and aggregate them on close.
+
+    Usage::
+
+        win = MeasurementWindows.open(store, "bulk-load")
+        ... workload ...
+        stats = win.close()       # combined WindowStats
+    """
+
+    def __init__(self, store: ObjectStore, name: str) -> None:
+        self.name = name
+        self._pairs = [
+            (dev, dev.stats.start_window(name)) for dev in store.devices()
+        ]
+
+    @classmethod
+    def open(cls, store: ObjectStore, name: str) -> "MeasurementWindows":
+        return cls(store, name)
+
+    def close(self) -> WindowStats:
+        combined = WindowStats(name=self.name)
+        for dev, win in self._pairs:
+            dev.stats.end_window(win)
+            combined.read_bytes += win.read_bytes
+            combined.write_bytes += win.write_bytes
+            combined.read_time_s += win.read_time_s
+            combined.write_time_s += win.write_time_s
+            combined.cpu_time_s += win.cpu_time_s
+            combined.seeks += win.seeks
+            combined.requests += win.requests
+        return combined

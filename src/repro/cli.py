@@ -1,0 +1,184 @@
+"""Command-line interface: run aging experiments without writing code.
+
+Examples::
+
+    python -m repro run --backend database --object-size 10M \\
+        --volume 2G --occupancy 0.5 --ages 0,2,4,6,8,10
+    python -m repro compare --object-size 512K --volume 512M \\
+        --occupancy 0.9 --ages 0,2,4 --json results.json
+    python -m repro backends
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.tables import render_series_table, render_table
+from repro.core.experiment import (
+    BACKENDS,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.core.workload import ConstantSize, UniformSize
+from repro.units import MB, fmt_size, parse_size
+
+
+def _parse_ages(text: str) -> tuple[float, ...]:
+    try:
+        ages = tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad ages list: {text!r}")
+    if not ages or list(ages) != sorted(ages):
+        raise argparse.ArgumentTypeError("ages must ascend")
+    return ages
+
+
+def _build_sizes(args: argparse.Namespace):
+    mean = parse_size(args.object_size)
+    if args.uniform:
+        return UniformSize.around_mean(mean, spread=args.spread)
+    return ConstantSize(mean)
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--object-size", default="1M",
+                        help="mean object size, e.g. 256K or 10M")
+    parser.add_argument("--uniform", action="store_true",
+                        help="uniform size distribution around the mean")
+    parser.add_argument("--spread", type=float, default=0.8,
+                        help="uniform half-width as a fraction of the mean")
+    parser.add_argument("--volume", default="1G",
+                        help="simulated volume size, e.g. 512M or 4G")
+    parser.add_argument("--occupancy", type=float, default=0.5,
+                        help="bulk-load target occupancy in (0, 1)")
+    parser.add_argument("--ages", type=_parse_ages,
+                        default=(0.0, 2.0, 4.0),
+                        help="comma-separated storage ages to sample")
+    parser.add_argument("--write-request", default="64K",
+                        help="application write request size")
+    parser.add_argument("--reads", type=int, default=32,
+                        help="whole-object reads per sampling point")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--size-hints", action="store_true",
+                        help="use the size-hint interface (filesystem)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the results as JSON")
+
+
+def _config_from(args: argparse.Namespace,
+                 backend: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        backend=backend,
+        sizes=_build_sizes(args),
+        volume_bytes=parse_size(args.volume),
+        occupancy=args.occupancy,
+        ages=args.ages,
+        reads_per_sample=args.reads,
+        seed=args.seed,
+        write_request=parse_size(args.write_request),
+        size_hints=args.size_hints,
+    )
+
+
+def _result_table(results: dict) -> str:
+    frag = {
+        name: [(s.age, s.fragments_per_object) for s in run.samples]
+        for name, run in results.items()
+    }
+    read = {
+        f"{name} rd MB/s": [(s.age, s.read_mbps / MB)
+                            for s in run.samples]
+        for name, run in results.items()
+    }
+    blocks = [
+        render_series_table("Fragments per object", "age", frag),
+        render_series_table("Read throughput", "age", read),
+    ]
+    return "\n\n".join(blocks)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Age one backend and print its fragmentation/throughput tables."""
+    result = run_experiment(_config_from(args, args.backend))
+    print(_result_table({args.backend: result}))
+    print(f"\nbulk-load write throughput: "
+          f"{result.bulk_load_write_mbps / MB:.2f} MB/s "
+          f"({result.objects_loaded} objects, "
+          f"{fmt_size(result.live_bytes)} live)")
+    if args.json:
+        result.save(args.json)
+        print(f"results written to {args.json}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Age several backends on one workload and print them side by side."""
+    results = {
+        backend: run_experiment(_config_from(args, backend))
+        for backend in args.against
+    }
+    print(_result_table(results))
+    if args.json:
+        payload = {name: run.to_dict() for name, run in results.items()}
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"results written to {args.json}")
+    return 0
+
+
+def cmd_backends(_args: argparse.Namespace) -> int:
+    """List the available storage backends."""
+    descriptions = {
+        "filesystem": "NTFS-like: file per object + metadata database",
+        "database": "SQL-Server-like: out-of-row BLOBs, bulk logged",
+        "gfs": "GFS-style fixed chunks with record append",
+        "lfs": "log-structured segments with a cleaner",
+    }
+    rows = [[name, descriptions[name]] for name in BACKENDS]
+    print(render_table("Available backends", ["name", "description"],
+                       rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aging experiments from 'Fragmentation in Large "
+                    "Object Repositories' (CIDR 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="age one backend")
+    run_parser.add_argument("--backend", choices=BACKENDS,
+                            default="filesystem")
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="age several backends on the same workload"
+    )
+    compare_parser.add_argument(
+        "--against", nargs="+", choices=BACKENDS,
+        default=["filesystem", "database"],
+    )
+    _add_run_arguments(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    backends_parser = sub.add_parser("backends",
+                                     help="list available backends")
+    backends_parser.set_defaults(func=cmd_backends)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

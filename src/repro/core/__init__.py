@@ -1,0 +1,68 @@
+"""The paper's core contribution: repository API + measurement methodology.
+
+* :class:`LargeObjectRepository` — the get/put application facade with
+  storage-age accounting built in.
+* :mod:`repro.core.fragmentation` — fragments/object analysis, both from
+  extent maps and from on-disk markers (the paper's measurement tool).
+* :mod:`repro.core.workload` — bulk load + safe-write churn generators.
+* :mod:`repro.core.experiment` — the aging experiment driver that
+  produces every figure's data.
+* :mod:`repro.core.defrag` — offline/incremental defragmenters.
+"""
+
+from repro.core.repository import LargeObjectRepository
+from repro.core.storage_age import StorageAgeTracker
+from repro.core.fragmentation import (
+    FragmentReport,
+    MarkerScanner,
+    fragment_counts,
+    fragment_report,
+    make_marker_content,
+)
+from repro.core.workload import (
+    ConstantSize,
+    SizeDistribution,
+    UniformSize,
+    WorkloadSpec,
+    bulk_load,
+    churn_to_age,
+    read_sweep,
+)
+from repro.core.experiment import (
+    AgeSample,
+    ExperimentConfig,
+    ExperimentRunner,
+    RunResult,
+)
+from repro.core.defrag import Defragmenter, rebuild_database
+from repro.core.interleaved import (
+    InterleaveResult,
+    interleaved_db_load,
+    interleaved_fs_load,
+)
+
+__all__ = [
+    "LargeObjectRepository",
+    "StorageAgeTracker",
+    "FragmentReport",
+    "MarkerScanner",
+    "fragment_counts",
+    "fragment_report",
+    "make_marker_content",
+    "ConstantSize",
+    "UniformSize",
+    "SizeDistribution",
+    "WorkloadSpec",
+    "bulk_load",
+    "churn_to_age",
+    "read_sweep",
+    "AgeSample",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "RunResult",
+    "Defragmenter",
+    "rebuild_database",
+    "InterleaveResult",
+    "interleaved_fs_load",
+    "interleaved_db_load",
+]

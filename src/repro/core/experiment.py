@@ -1,0 +1,199 @@
+"""The aging-experiment driver behind every figure.
+
+One run = one backend, one volume, one workload: bulk load to the target
+occupancy (storage age 0), then alternate churn intervals and sampling
+points.  At each sampled age the driver records fragments/object (extent
+maps), a timed random-read sweep, and the average write throughput of
+the churn interval that led here — matching how the paper pairs its
+read and write measurements (Section 5.3).
+
+The configuration defaults are scaled-down versions of the paper's
+(DESIGN.md Section 3): the free-object pool and the request-size ratios
+that drive fragmentation are preserved while volumes shrink from 400 GB
+to single-digit GB so a run takes seconds, not a week.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends.base import ObjectStore
+from repro.backends.blob_backend import BlobBackend
+from repro.backends.file_backend import FileBackend
+from repro.backends.gfs_backend import GfsChunkBackend
+from repro.backends.lfs_backend import LfsBackend
+from repro.core.fragmentation import fragment_report
+from repro.core.results import AgeSample, RunResult
+from repro.core.throughput import measure, measure_read_throughput
+from repro.core.workload import (
+    SizeDistribution,
+    WorkloadSpec,
+    WorkloadState,
+    bulk_load,
+    churn_to_age,
+)
+from repro.db.database import DbConfig
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import scaled_disk
+from repro.errors import ConfigError
+from repro.fs.filesystem import FsConfig
+from repro.rng import substream
+from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
+
+BACKENDS = ("filesystem", "database", "gfs", "lfs")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one curve of one figure."""
+
+    backend: str
+    sizes: SizeDistribution
+    volume_bytes: int = 2 * GB
+    occupancy: float = 0.5
+    write_request: int = DEFAULT_WRITE_REQUEST
+    ages: tuple[float, ...] = (0.0, 2.0, 4.0)
+    #: Whole-object reads per sampling point.
+    reads_per_sample: int = 64
+    seed: int = 42
+    #: Store real bytes on the device (marker analysis; test scale only).
+    store_data: bool = False
+    #: Use the size-hint interface (filesystem backend only).
+    size_hints: bool = False
+    fs_config: FsConfig | None = None
+    db_config: DbConfig | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if not self.ages or list(self.ages) != sorted(self.ages):
+            raise ConfigError("ages must be a non-empty ascending sequence")
+
+    def display_label(self) -> str:
+        if self.label:
+            return self.label
+        return (f"{self.backend}/{self.sizes}"
+                f"/{fmt_size(self.volume_bytes)}@{self.occupancy:.0%}")
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "sizes": str(self.sizes),
+            "volume_bytes": self.volume_bytes,
+            "occupancy": self.occupancy,
+            "write_request": self.write_request,
+            "ages": list(self.ages),
+            "reads_per_sample": self.reads_per_sample,
+            "seed": self.seed,
+            "size_hints": self.size_hints,
+        }
+
+
+def make_store(config: ExperimentConfig) -> ObjectStore:
+    """Instantiate the backend named by the configuration."""
+    device = BlockDevice(scaled_disk(config.volume_bytes),
+                         store_data=config.store_data)
+    if config.backend == "filesystem":
+        return FileBackend(
+            device,
+            fs_config=config.fs_config,
+            write_request=config.write_request,
+            size_hints=config.size_hints,
+        )
+    if config.backend == "database":
+        db_config = config.db_config or DbConfig(
+            write_request=config.write_request
+        )
+        return BlobBackend(device, db_config=db_config)
+    if config.backend == "gfs":
+        return GfsChunkBackend(device, write_request=config.write_request)
+    if config.backend == "lfs":
+        return LfsBackend(device, write_request=config.write_request)
+    raise ConfigError(f"unknown backend {config.backend!r}")
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs one configuration end to end."""
+
+    config: ExperimentConfig
+    #: Optional progress callback: (phase_name, detail_float).
+    progress: object = None
+    store: ObjectStore | None = None
+    state: WorkloadState | None = None
+    _read_rng_seed: int = field(init=False, default=0)
+
+    def _notify(self, phase: str, value: float) -> None:
+        if callable(self.progress):
+            self.progress(phase, value)
+
+    def run(self) -> RunResult:
+        cfg = self.config
+        self.store = store = make_store(cfg)
+        spec = WorkloadSpec(
+            sizes=cfg.sizes,
+            target_occupancy=cfg.occupancy,
+            write_request=cfg.write_request,
+            with_content=cfg.store_data,
+        )
+        result = RunResult(
+            backend=cfg.backend,
+            label=cfg.display_label(),
+            config=cfg.to_dict(),
+        )
+        rng = substream(cfg.seed, "workload")
+        read_rng = substream(cfg.seed, "reads")
+
+        # Phase 0: bulk load (storage age zero).
+        self._notify("bulk-load", 0.0)
+        with measure(store, "bulk-load") as phase:
+            self.state = state = bulk_load(store, spec, rng)
+            phase.add_bytes(state.tracker.live_bytes)
+        assert phase.result is not None
+        result.bulk_load_write_mbps = phase.result.mbps
+        result.objects_loaded = len(state.keys)
+        result.live_bytes = state.tracker.live_bytes
+
+        last_write_mbps = result.bulk_load_write_mbps
+        for target_age in cfg.ages:
+            if state.tracker.storage_age < target_age:
+                self._notify("churn", target_age)
+                before = state.bytes_overwritten
+                with measure(store, f"churn-to-{target_age:g}") as phase:
+                    churn_to_age(store, state, target_age)
+                    phase.add_bytes(state.bytes_overwritten - before)
+                assert phase.result is not None
+                last_write_mbps = phase.result.mbps
+            self._notify("sample", target_age)
+            result.samples.append(
+                self._sample(store, state, target_age,
+                             last_write_mbps, read_rng)
+            )
+        return result
+
+    def _sample(self, store: ObjectStore, state: WorkloadState,
+                age: float, write_mbps: float, read_rng) -> AgeSample:
+        report = fragment_report(store)
+        read = measure_read_throughput(
+            store, state, self.config.reads_per_sample, read_rng
+        )
+        reads = max(1, self.config.reads_per_sample)
+        return AgeSample(
+            age=state.tracker.storage_age if age > 0 else age,
+            fragments_per_object=report.mean,
+            fragments_median=report.median,
+            fragments_max=report.max,
+            read_mbps=read.mbps,
+            write_mbps=write_mbps,
+            occupancy=store.store_stats().occupancy,
+            overwrites=state.tracker.overwrites,
+            seeks_per_read=read.seeks / reads,
+        )
+
+
+def run_experiment(config: ExperimentConfig, progress=None) -> RunResult:
+    """Convenience wrapper: build, run, return the result."""
+    return ExperimentRunner(config, progress=progress).run()

@@ -1,0 +1,114 @@
+"""Throughput measurement over modelled time.
+
+The paper's primary indicator is application throughput: object bytes
+moved divided by elapsed time (Section 5).  Elapsed time here is the
+modelled time of a synchronous workload — device busy time (seeks,
+rotation, media transfer, forced flushes) plus host CPU time — summed
+across every device the backend touches.
+
+:func:`measure` wraps any workload phase in per-device measurement
+windows; the throughput helpers divide *logical* object bytes by the
+window's total time, so metadata I/O slows a phase down (as it should)
+without inflating its byte count.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+from dataclasses import dataclass
+from random import Random
+
+from repro.backends.base import MeasurementWindows, ObjectStore
+from repro.core.workload import WorkloadState, read_sweep
+from repro.disk.iostats import WindowStats
+from repro.units import MB
+
+
+@dataclass
+class PhaseResult:
+    """Logical bytes + modelled time for one measured phase."""
+
+    name: str
+    logical_bytes: int
+    window: WindowStats
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.window.total_time_s
+
+    @property
+    def mbps(self) -> float:
+        """Application throughput in bytes/second (0 when idle)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.logical_bytes / self.elapsed_s
+
+    @property
+    def mbps_mb(self) -> float:
+        """Throughput in MB/s, the paper's unit."""
+        return self.mbps / MB
+
+    @property
+    def seeks(self) -> int:
+        return self.window.seeks
+
+
+class _PhaseHandle:
+    """Mutable handle the ``measure`` context yields."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.logical_bytes = 0
+        self.result: PhaseResult | None = None
+
+    def add_bytes(self, nbytes: int) -> None:
+        self.logical_bytes += nbytes
+
+
+@contextlib.contextmanager
+def measure(store: ObjectStore, name: str) -> Iterator[_PhaseHandle]:
+    """Measure a phase::
+
+        with measure(store, "read-sweep") as phase:
+            phase.add_bytes(read_sweep(store, state, 100))
+        print(phase.result.mbps_mb)
+    """
+    handle = _PhaseHandle(name)
+    windows = MeasurementWindows.open(store, name)
+    try:
+        yield handle
+    finally:
+        combined = windows.close()
+        handle.result = PhaseResult(
+            name=name, logical_bytes=handle.logical_bytes, window=combined
+        )
+
+
+def measure_read_throughput(store: ObjectStore, state: WorkloadState,
+                            nreads: int,
+                            rng: Random | None = None) -> PhaseResult:
+    """Random whole-object read sweep (the Figure 1 measurement)."""
+    with measure(store, "read-sweep") as phase:
+        phase.add_bytes(read_sweep(store, state, nreads, rng))
+    assert phase.result is not None
+    return phase.result
+
+
+def measure_get(store: ObjectStore, key: str) -> PhaseResult:
+    """Timing of a single get (used by examples and tests)."""
+    with measure(store, f"get:{key}") as phase:
+        size = store.meta(key).size
+        store.get(key)
+        phase.add_bytes(size)
+    assert phase.result is not None
+    return phase.result
+
+
+def make_read_rng(seed: int) -> Random:
+    """Independent RNG for read sweeps so reads never perturb the
+    churn sequence (the paper interleaves them; our phases are
+    equivalent because reads do not mutate layout)."""
+    from repro.rng import substream
+
+    return substream(seed, "read-sweep")

@@ -1,0 +1,27 @@
+"""SQL-Server-like database substrate.
+
+Implements the storage behaviours the paper attributes to SQL Server
+2005: 8 KB pages grouped into 64 KB extents, allocation maps scanned in
+address order (GAM/PFS style), Exodus-style B-tree storage of large
+objects with out-of-row data pages, bulk-logged mode (BLOB data forced
+at commit, not logged), and ghost-record deferred deallocation.
+"""
+
+from repro.db.database import SimDatabase, DbConfig
+from repro.db.blobstore import BlobStore
+from repro.db.gam import GamAllocator
+from repro.db.heap import HeapTable
+from repro.db.btree import LobTree
+from repro.db.bufferpool import BufferPool
+from repro.db.wal import WriteAheadLog
+
+__all__ = [
+    "SimDatabase",
+    "DbConfig",
+    "BlobStore",
+    "GamAllocator",
+    "HeapTable",
+    "LobTree",
+    "BufferPool",
+    "WriteAheadLog",
+]

@@ -1,0 +1,205 @@
+"""GAM/PFS-style allocation maps: address-ordered page and extent allocation.
+
+SQL Server finds free space by scanning allocation bitmaps from the start
+of the file: the GAM tracks free *extents* (8 pages, 64 KB), the PFS
+tracks free *pages* within partially used extents.  The consequence the
+paper measures is that space is reused **lowest address first, at
+page/extent granularity, with no preference for large contiguous runs**
+— the opposite of NTFS's decreasing-size run cache.  Combined with
+deferred (ghost) deallocation this is the mechanism behind SQL Server's
+near-linear fragmentation growth in Figures 2 and 5.
+
+:class:`GamAllocator` implements that discipline exactly.  It is pure
+bookkeeping — no I/O — so it can be unit- and property-tested in
+isolation; the page file charges the device.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import AllocationError, ConfigError, CorruptionError
+from repro.units import PAGES_PER_EXTENT
+
+_FULL_MASK = (1 << PAGES_PER_EXTENT) - 1
+
+
+class GamAllocator:
+    """Page/extent allocator over ``num_extents`` 8-page extents.
+
+    Internal state per extent is a bitmask of *used* pages.  Two sorted
+    lists index the states for address-ordered scans: fully free extents
+    (GAM) and partially free extents (PFS).
+    """
+
+    def __init__(self, num_extents: int) -> None:
+        if num_extents <= 0:
+            raise ConfigError("num_extents must be positive")
+        self.num_extents = num_extents
+        self.num_pages = num_extents * PAGES_PER_EXTENT
+        self._used_mask: list[int] = [0] * num_extents
+        self._free_extents: list[int] = list(range(num_extents))
+        self._partial_extents: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def extent_of(page_no: int) -> int:
+        return page_no // PAGES_PER_EXTENT
+
+    @staticmethod
+    def page_in_extent(page_no: int) -> int:
+        return page_no % PAGES_PER_EXTENT
+
+    def _remove_from(self, lst: list[int], value: int) -> None:
+        idx = bisect.bisect_left(lst, value)
+        if idx >= len(lst) or lst[idx] != value:
+            raise CorruptionError(f"extent {value} not in expected list")
+        del lst[idx]
+
+    def _reclassify(self, extent_id: int, old_mask: int, new_mask: int) -> None:
+        """Move the extent between the free/partial/full classes."""
+        def class_of(mask: int) -> str:
+            if mask == 0:
+                return "free"
+            if mask == _FULL_MASK:
+                return "full"
+            return "partial"
+
+        old_class, new_class = class_of(old_mask), class_of(new_mask)
+        if old_class == new_class:
+            return
+        if old_class == "free":
+            self._remove_from(self._free_extents, extent_id)
+        elif old_class == "partial":
+            self._remove_from(self._partial_extents, extent_id)
+        if new_class == "free":
+            bisect.insort(self._free_extents, extent_id)
+        elif new_class == "partial":
+            bisect.insort(self._partial_extents, extent_id)
+
+    def _set_mask(self, extent_id: int, new_mask: int) -> None:
+        old = self._used_mask[extent_id]
+        self._used_mask[extent_id] = new_mask
+        self._reclassify(extent_id, old, new_mask)
+
+    # ------------------------------------------------------------------
+    # Allocation (address-ordered, per the GAM scan)
+    # ------------------------------------------------------------------
+    def alloc_uniform_extent(self) -> int | None:
+        """Allocate the lowest fully-free extent; all 8 pages become used.
+
+        Returns the extent id, or None when no fully-free extent exists
+        (the caller then falls back to page-at-a-time allocation).
+        """
+        if not self._free_extents:
+            return None
+        extent_id = self._free_extents[0]
+        self._set_mask(extent_id, _FULL_MASK)
+        return extent_id
+
+    def alloc_page(self) -> int:
+        """Allocate the lowest-address free page (mixed-extent style)."""
+        if self._partial_extents and (
+            not self._free_extents
+            or self._partial_extents[0] < self._free_extents[0]
+        ):
+            extent_id = self._partial_extents[0]
+        elif self._free_extents:
+            extent_id = self._free_extents[0]
+        else:
+            raise AllocationError("database file is full")
+        mask = self._used_mask[extent_id]
+        for bit in range(PAGES_PER_EXTENT):
+            if not mask & (1 << bit):
+                self._set_mask(extent_id, mask | (1 << bit))
+                return extent_id * PAGES_PER_EXTENT + bit
+        raise CorruptionError(f"extent {extent_id} misclassified as non-full")
+
+    def alloc_pages(self, count: int) -> list[int]:
+        """Allocate ``count`` pages, preferring whole uniform extents.
+
+        SQL Server switches an allocation unit to uniform extents once it
+        exceeds 8 pages; large BLOB appends therefore consume whole
+        extents while small remainders take individual pages.
+        """
+        if count <= 0:
+            raise ConfigError("count must be positive")
+        if count > self.free_page_count:
+            raise AllocationError(
+                f"need {count} pages, only {self.free_page_count} free"
+            )
+        pages: list[int] = []
+        remaining = count
+        while remaining >= PAGES_PER_EXTENT:
+            extent_id = self.alloc_uniform_extent()
+            if extent_id is None:
+                break
+            base = extent_id * PAGES_PER_EXTENT
+            pages.extend(range(base, base + PAGES_PER_EXTENT))
+            remaining -= PAGES_PER_EXTENT
+        for _ in range(remaining):
+            pages.append(self.alloc_page())
+        return pages
+
+    # ------------------------------------------------------------------
+    # Deallocation
+    # ------------------------------------------------------------------
+    def free_page(self, page_no: int) -> None:
+        if not 0 <= page_no < self.num_pages:
+            raise CorruptionError(f"page {page_no} out of range")
+        extent_id = self.extent_of(page_no)
+        bit = 1 << self.page_in_extent(page_no)
+        mask = self._used_mask[extent_id]
+        if not mask & bit:
+            raise CorruptionError(f"double free of page {page_no}")
+        self._set_mask(extent_id, mask & ~bit)
+
+    def free_pages(self, page_nos: list[int]) -> None:
+        for page_no in page_nos:
+            self.free_page(page_no)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_page_used(self, page_no: int) -> bool:
+        extent_id = self.extent_of(page_no)
+        return bool(self._used_mask[extent_id]
+                    & (1 << self.page_in_extent(page_no)))
+
+    @property
+    def free_page_count(self) -> int:
+        full_free = len(self._free_extents) * PAGES_PER_EXTENT
+        partial_free = sum(
+            PAGES_PER_EXTENT - self._used_mask[e].bit_count()
+            for e in self._partial_extents
+        )
+        return full_free + partial_free
+
+    @property
+    def used_page_count(self) -> int:
+        return self.num_pages - self.free_page_count
+
+    @property
+    def free_extent_count(self) -> int:
+        return len(self._free_extents)
+
+    @property
+    def partial_extent_count(self) -> int:
+        return len(self._partial_extents)
+
+    def check_invariants(self) -> None:
+        """The class lists exactly mirror the per-extent masks."""
+        free = [e for e in range(self.num_extents) if self._used_mask[e] == 0]
+        partial = [
+            e for e in range(self.num_extents)
+            if 0 < self._used_mask[e] < _FULL_MASK
+        ]
+        if free != self._free_extents:
+            raise CorruptionError("GAM free-extent list out of sync")
+        if partial != self._partial_extents:
+            raise CorruptionError("PFS partial-extent list out of sync")
+        for mask in self._used_mask:
+            if not 0 <= mask <= _FULL_MASK:
+                raise CorruptionError("extent mask out of range")

@@ -1,0 +1,27 @@
+"""Page identities and types.
+
+Pages are identified by an integer page number within the database file;
+the :class:`~repro.db.pagefile.PageFile` maps them to byte offsets on the
+device.  We track page *types* the way SQL Server's PFS does, because the
+fragmentation analyzer distinguishes BLOB data pages from the LOB-tree
+index pages interleaved with them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.units import PAGE_SIZE, PAGES_PER_EXTENT
+
+__all__ = ["PageType", "PAGE_SIZE", "PAGES_PER_EXTENT"]
+
+
+class PageType(enum.Enum):
+    """What a page currently holds."""
+
+    FREE = "free"
+    HEAP = "heap"            # metadata table rows
+    INDEX = "index"          # heap/LOB B-tree interior pages
+    LOB_DATA = "lob_data"    # out-of-row BLOB bytes
+    GHOST = "ghost"          # deallocated, awaiting ghost cleanup
+    SYSTEM = "system"        # allocation maps, boot page, ...

@@ -1,0 +1,66 @@
+"""Write-ahead log with bulk-logged mode.
+
+The paper ran SQL Server in *bulk logged* mode: newly allocated BLOBs are
+written to the data file and forced at commit; only allocation metadata
+goes through the log, avoiding a second full copy of every object
+(Section 4).  The log lives on its own device — "SQL was given a
+dedicated log and data drive" — so log appends are sequential and do not
+steal seeks from the data path.
+"""
+
+from __future__ import annotations
+
+from repro.disk.device import BlockDevice
+from repro.errors import ConfigError
+
+
+class WriteAheadLog:
+    """Sequential circular log on a dedicated device."""
+
+    #: Bytes per logged operation record (allocation metadata only).
+    RECORD_BYTES = 512
+
+    def __init__(self, device: BlockDevice, *, bulk_logged: bool = True,
+                 charge_io: bool = True) -> None:
+        self.device = device
+        self.bulk_logged = bulk_logged
+        self._charge_io = charge_io
+        self._cursor = 0
+        self._pending_records = 0
+        self.records = 0
+        self.commits = 0
+        self.logged_bytes = 0
+
+    def _append(self, nbytes: int) -> None:
+        if self._cursor + nbytes > self.device.geometry.capacity:
+            self._cursor = 0
+        if self._charge_io:
+            self.device.write(self._cursor, nbytes)
+        self._cursor += nbytes
+        self.logged_bytes += nbytes
+
+    def log_operation(self, *, payload_bytes: int = 0) -> None:
+        """Log one operation.
+
+        In bulk-logged mode BLOB payloads are *not* logged — only the
+        fixed-size allocation record.  In full-recovery mode the payload
+        rides the log too (the configuration the paper avoided because
+        it doubles the write volume).
+        """
+        if payload_bytes < 0:
+            raise ConfigError("payload_bytes must be >= 0")
+        nbytes = self.RECORD_BYTES
+        if not self.bulk_logged:
+            nbytes += payload_bytes
+        self._append(nbytes)
+        self.records += 1
+        self._pending_records += 1
+
+    def commit(self) -> None:
+        """Group-commit: force the log (one flush per commit)."""
+        if self._pending_records == 0:
+            return
+        if self._charge_io:
+            self.device.flush()
+        self._pending_records = 0
+        self.commits += 1

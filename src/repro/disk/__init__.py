@@ -1,0 +1,21 @@
+"""Disk substrate: zoned geometry and a service-time block device model.
+
+The paper's testbed used Seagate ST3400832AS 7200 rpm SATA drives
+(Table 1).  We replace the physical drives with :class:`BlockDevice`,
+which tracks a head position and charges seek, rotational, and zoned
+media-transfer time for every extent it touches.  Throughput numbers in
+the benches are bytes moved divided by modelled busy time.
+"""
+
+from repro.disk.geometry import DiskGeometry, Zone, PAPER_DISK, scaled_disk
+from repro.disk.device import BlockDevice
+from repro.disk.iostats import IoStats
+
+__all__ = [
+    "DiskGeometry",
+    "Zone",
+    "PAPER_DISK",
+    "scaled_disk",
+    "BlockDevice",
+    "IoStats",
+]

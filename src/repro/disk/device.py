@@ -1,0 +1,242 @@
+"""Simulated block device with a mechanical service-time model.
+
+:class:`BlockDevice` is the single substrate both storage systems sit on.
+It tracks the head position, charges seek + rotational latency for every
+discontiguous extent touched and media transfer time for every byte, and
+accumulates everything in an :class:`~repro.disk.iostats.IoStats`.
+
+Content storage is optional.  Fragmentation experiments only need timing
+and layout, so by default the device stores nothing and ``read`` returns
+``None``.  With ``store_data=True`` the device keeps a sparse segment map
+of written bytes, which the marker-based fragmentation analyzer and the
+crash/atomicity tests use to verify byte-exact behaviour.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.iostats import IoStats
+from repro.errors import ConfigError
+from repro.alloc.extent import Extent
+
+
+class _SegmentStore:
+    """Sparse byte store: non-overlapping (start, bytes) segments.
+
+    Kept simple (list + bisect) because content storage is only enabled at
+    test scale.  Unwritten ranges read back as zeros, like a fresh disk.
+    """
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._data: list[bytes] = []
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        end = offset + len(data)
+        # Find all segments overlapping [offset, end) and carve them.
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        if idx >= 0:
+            seg_start = self._starts[idx]
+            seg = self._data[idx]
+            if seg_start + len(seg) > offset:
+                # Left neighbour overlaps: keep its prefix.
+                keep = seg[: offset - seg_start]
+                tail = seg[offset - seg_start:]
+                if keep:
+                    self._data[idx] = keep
+                    idx += 1
+                else:
+                    del self._starts[idx]
+                    del self._data[idx]
+                if seg_start + len(seg) > end:
+                    # Segment extends past the write: keep its suffix.
+                    suffix = tail[end - offset:]
+                    self._starts.insert(idx, end)
+                    self._data.insert(idx, suffix)
+            else:
+                idx += 1
+        else:
+            idx = 0
+        # Remove fully/partially covered segments to the right.
+        while idx < len(self._starts) and self._starts[idx] < end:
+            seg_start = self._starts[idx]
+            seg = self._data[idx]
+            if seg_start + len(seg) <= end:
+                del self._starts[idx]
+                del self._data[idx]
+            else:
+                suffix = seg[end - seg_start:]
+                self._starts[idx] = end
+                self._data[idx] = suffix
+                break
+        insert_at = bisect.bisect_left(self._starts, offset)
+        self._starts.insert(insert_at, offset)
+        self._data.insert(insert_at, bytes(data))
+
+    def read(self, offset: int, length: int) -> bytes:
+        out = bytearray(length)
+        end = offset + length
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        if idx < 0:
+            idx = 0
+        while idx < len(self._starts) and self._starts[idx] < end:
+            seg_start = self._starts[idx]
+            seg = self._data[idx]
+            seg_end = seg_start + len(seg)
+            lo = max(seg_start, offset)
+            hi = min(seg_end, end)
+            if hi > lo:
+                out[lo - offset: hi - offset] = seg[lo - seg_start: hi - seg_start]
+            idx += 1
+        return bytes(out)
+
+
+@dataclass
+class _RequestCost:
+    seeks: int
+    service_s: float
+
+
+class BlockDevice:
+    """A single simulated drive.
+
+    Parameters
+    ----------
+    geometry:
+        Mechanical and zoning parameters (see :class:`DiskGeometry`).
+    store_data:
+        Keep written bytes in memory for later reads.  Off by default;
+        fragmentation benches only need timing.
+    sequential_window:
+        A new request starting within this many bytes after the previous
+        request's end is treated as sequential (no seek, no rotational
+        delay) — drives coalesce near-sequential access via track
+        buffering.
+    """
+
+    def __init__(self, geometry: DiskGeometry, *, store_data: bool = False,
+                 sequential_window: int = 64 * 1024) -> None:
+        self.geometry = geometry
+        self.stats = IoStats()
+        self._store = _SegmentStore() if store_data else None
+        self._head = 0
+        self._sequential_window = sequential_window
+        self.clock_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Service-time model
+    # ------------------------------------------------------------------
+    def _cost_of(self, extents: list[Extent]) -> _RequestCost:
+        seeks = 0
+        total = self.geometry.per_request_overhead_s
+        head = self._head
+        for ext in extents:
+            gap = ext.start - head
+            if 0 <= gap <= self._sequential_window:
+                # Sequential continuation: pay only any skipped media time.
+                if gap:
+                    total += self.geometry.transfer_time(head, gap)
+            else:
+                seeks += 1
+                total += self.geometry.seek_time(head, ext.start)
+                total += self.geometry.avg_rotational_latency_s
+            total += self.geometry.transfer_time(ext.start, ext.length)
+            head = ext.end
+        return _RequestCost(seeks=seeks, service_s=total)
+
+    def _validate(self, extents: list[Extent]) -> None:
+        for ext in extents:
+            if ext.start < 0 or ext.end > self.geometry.capacity:
+                raise ConfigError(
+                    f"extent {ext} outside volume of "
+                    f"{self.geometry.capacity} bytes"
+                )
+
+    # ------------------------------------------------------------------
+    # Timed I/O
+    # ------------------------------------------------------------------
+    def read_extents(self, extents: list[Extent]) -> bytes | None:
+        """Read a list of extents as one request; returns data if stored."""
+        self._validate(extents)
+        cost = self._cost_of(extents)
+        nbytes = sum(e.length for e in extents)
+        self.stats.record(is_write=False, nbytes=nbytes,
+                          service_s=cost.service_s, seeks=cost.seeks)
+        self.clock_s += cost.service_s
+        if extents:
+            self._head = extents[-1].end
+        if self._store is None:
+            return None
+        return b"".join(self._store.read(e.start, e.length) for e in extents)
+
+    def write_extents(self, extents: list[Extent],
+                      data: bytes | None = None) -> None:
+        """Write a list of extents as one request.
+
+        ``data`` (when content storage is on) must cover the extents in
+        order; pass ``None`` to write timing-only.
+        """
+        self._validate(extents)
+        cost = self._cost_of(extents)
+        nbytes = sum(e.length for e in extents)
+        self.stats.record(is_write=True, nbytes=nbytes,
+                          service_s=cost.service_s, seeks=cost.seeks)
+        self.clock_s += cost.service_s
+        if extents:
+            self._head = extents[-1].end
+        if self._store is not None and data is not None:
+            if len(data) != nbytes:
+                raise ConfigError(
+                    f"data length {len(data)} != extent bytes {nbytes}"
+                )
+            cursor = 0
+            for ext in extents:
+                self._store.write(ext.start, data[cursor: cursor + ext.length])
+                cursor += ext.length
+
+    def read(self, offset: int, length: int) -> bytes | None:
+        """Timed single-extent read."""
+        return self.read_extents([Extent(offset, length)])
+
+    def write(self, offset: int, length: int,
+              data: bytes | None = None) -> None:
+        """Timed single-extent write."""
+        self.write_extents([Extent(offset, length)], data)
+
+    def flush(self) -> None:
+        """Force outstanding writes; modelled as one rotation of latency.
+
+        Safe writes and commit records force the platter; charging a
+        rotation approximates the cache-flush cost of the era's drives.
+        """
+        service = self.geometry.rotation_s
+        self.stats.record(is_write=True, nbytes=0, service_s=service, seeks=0)
+        self.clock_s += service
+
+    # ------------------------------------------------------------------
+    # Untimed inspection (used by analyzers and tests, never by benches)
+    # ------------------------------------------------------------------
+    @property
+    def stores_data(self) -> bool:
+        return self._store is not None
+
+    def peek(self, offset: int, length: int) -> bytes:
+        """Read stored content without charging any service time."""
+        if self._store is None:
+            raise ConfigError("device was created with store_data=False")
+        return self._store.read(offset, length)
+
+    def poke(self, offset: int, data: bytes) -> None:
+        """Write stored content without charging any service time."""
+        if self._store is None:
+            raise ConfigError("device was created with store_data=False")
+        self._store.write(offset, data)
+
+    @property
+    def head_position(self) -> int:
+        return self._head

@@ -1,0 +1,143 @@
+"""I/O accounting for the simulated block device.
+
+The paper's primary performance indicator is throughput (MB/s) measured
+over phases of the workload (bulk load, each churn interval, read sweeps).
+:class:`IoStats` accumulates modelled busy time and bytes, and supports
+nested named windows so the experiment runner can report per-phase
+throughput exactly the way Figures 1 and 4 do ("write performance between
+the bulk load and storage-age-two read measurements").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import MB
+
+
+@dataclass
+class WindowStats:
+    """Totals captured between ``start_window`` and ``end_window``."""
+
+    name: str
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_time_s: float = 0.0
+    write_time_s: float = 0.0
+    cpu_time_s: float = 0.0
+    seeks: int = 0
+    requests: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def total_time_s(self) -> float:
+        """Modelled wall time: device busy time plus host CPU time.
+
+        The workload is synchronous and single-threaded (one outstanding
+        request, as in the paper's test app), so times add.
+        """
+        return self.read_time_s + self.write_time_s + self.cpu_time_s
+
+    def read_throughput(self) -> float:
+        """Read bytes per second of modelled read busy time (0 if idle)."""
+        if self.read_time_s <= 0:
+            return 0.0
+        return self.read_bytes / self.read_time_s
+
+    def write_throughput(self) -> float:
+        if self.write_time_s <= 0:
+            return 0.0
+        return self.write_bytes / self.write_time_s
+
+    def throughput(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_bytes / self.total_time_s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WindowStats({self.name!r}, rd={self.read_bytes / MB:.1f}MB"
+            f"@{self.read_throughput() / MB:.2f}MB/s, "
+            f"wr={self.write_bytes / MB:.1f}MB"
+            f"@{self.write_throughput() / MB:.2f}MB/s, seeks={self.seeks})"
+        )
+
+
+@dataclass
+class IoStats:
+    """Cumulative counters plus a stack of open measurement windows."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_time_s: float = 0.0
+    write_time_s: float = 0.0
+    cpu_time_s: float = 0.0
+    seeks: int = 0
+    requests: int = 0
+    _windows: list[WindowStats] = field(default_factory=list)
+
+    def record_cpu(self, seconds: float) -> None:
+        """Account host CPU time (query parsing, file-open path, copies)."""
+        self.cpu_time_s += seconds
+        for win in self._windows:
+            win.cpu_time_s += seconds
+
+    def record(self, *, is_write: bool, nbytes: int, service_s: float,
+               seeks: int) -> None:
+        """Account one device request in the totals and all open windows."""
+        self.requests += 1
+        self.seeks += seeks
+        targets: list[WindowStats] = list(self._windows)
+        if is_write:
+            self.write_bytes += nbytes
+            self.write_time_s += service_s
+            for win in targets:
+                win.write_bytes += nbytes
+                win.write_time_s += service_s
+        else:
+            self.read_bytes += nbytes
+            self.read_time_s += service_s
+            for win in targets:
+                win.read_bytes += nbytes
+                win.read_time_s += service_s
+        for win in targets:
+            win.seeks += seeks
+            win.requests += 1
+
+    def start_window(self, name: str) -> WindowStats:
+        """Open a named measurement window; windows may nest."""
+        win = WindowStats(name=name)
+        self._windows.append(win)
+        return win
+
+    def end_window(self, win: WindowStats) -> WindowStats:
+        """Close ``win`` (and any windows opened after it)."""
+        while self._windows:
+            top = self._windows.pop()
+            if top is win:
+                return win
+        raise ValueError(f"window {win.name!r} is not open")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def busy_time_s(self) -> float:
+        return self.read_time_s + self.write_time_s + self.cpu_time_s
+
+    def snapshot(self) -> WindowStats:
+        """A :class:`WindowStats` view of the cumulative totals."""
+        return WindowStats(
+            name="total",
+            read_bytes=self.read_bytes,
+            write_bytes=self.write_bytes,
+            read_time_s=self.read_time_s,
+            write_time_s=self.write_time_s,
+            cpu_time_s=self.cpu_time_s,
+            seeks=self.seeks,
+            requests=self.requests,
+        )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro library.
+
+All library exceptions derive from :class:`ReproError`, so callers can
+catch a single type at the repository boundary.  Storage-full conditions
+derive from :class:`StorageFullError` regardless of which substrate raised
+them, because the experiment driver treats them uniformly (it sizes
+workloads to fit, so hitting one is a configuration bug worth surfacing).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration (sizes, rates, policy names, ...)."""
+
+
+class StorageFullError(ReproError):
+    """The underlying volume or file could not satisfy an allocation."""
+
+
+class AllocationError(StorageFullError):
+    """An allocator could not find space for a request."""
+
+
+class FsError(ReproError):
+    """Filesystem-level failure."""
+
+
+class FileNotFoundFsError(FsError, KeyError):
+    """Named file does not exist in the simulated filesystem."""
+
+
+class FileExistsFsError(FsError):
+    """Attempt to create a file that already exists."""
+
+
+class DbError(ReproError):
+    """Database-level failure."""
+
+
+class BlobNotFoundError(DbError, KeyError):
+    """BLOB id not present in the blob store."""
+
+
+class RowNotFoundError(DbError, KeyError):
+    """Heap row id not present in the table."""
+
+
+class ObjectNotFoundError(ReproError, KeyError):
+    """Object id not present in an object store backend."""
+
+
+class CorruptionError(ReproError):
+    """Internal invariant violated (double free, overlapping extents, ...).
+
+    Raising instead of silently repairing keeps simulations honest: a
+    corruption here means the model diverged, not that the workload is
+    unlucky.
+    """
+
+
+class CrashPoint(ReproError):
+    """Raised by fault-injection hooks to simulate a crash mid-operation."""

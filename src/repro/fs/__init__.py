@@ -1,0 +1,23 @@
+"""NTFS-like filesystem substrate.
+
+Implements the behaviours the paper attributes to NTFS (Sections 2, 5.3,
+5.4): per-append space allocation from a banded, decreasing-size run
+cache; aggressive contiguous extension of sequentially appended files;
+transactional-log commit before freed space is reusable; safe writes via
+temp file + atomic rename; and background metadata allocations that
+perturb free-run sizes on a live volume.
+"""
+
+from repro.fs.filesystem import SimFilesystem, FsConfig
+from repro.fs.filetable import FileRecord, FileTable
+from repro.fs.journal import Journal
+from repro.fs.metadata_traffic import MetadataTraffic
+
+__all__ = [
+    "SimFilesystem",
+    "FsConfig",
+    "FileRecord",
+    "FileTable",
+    "Journal",
+    "MetadataTraffic",
+]

@@ -1,0 +1,110 @@
+"""The filesystem's transactional log and deferred free-space reuse.
+
+Section 2 of the paper: *"the NTFS transactional log entry must be
+committed before freed space can be reallocated after file deletion."*
+
+:class:`Journal` models that: extents freed by deletes are *pending*
+until the next commit, at which point they enter the free index (and
+coalesce).  Commits happen every ``commit_interval_ops`` metadata
+operations — batching several operations per commit the way a real log
+does — or explicitly via :meth:`commit`.
+
+The journal also charges I/O: each logged operation appends a small
+record to the log region (sequential), and each commit forces the log.
+"""
+
+from __future__ import annotations
+
+from repro.alloc.extent import Extent
+from repro.alloc.freelist import FreeExtentIndex
+from repro.disk.device import BlockDevice
+from repro.errors import ConfigError
+
+
+class Journal:
+    """Write-ahead metadata log with deferred free reuse.
+
+    Parameters
+    ----------
+    device:
+        Device to charge log writes to.
+    free_index:
+        Where committed frees are returned.
+    log_base, log_size:
+        The log region (a circular file, like $LogFile).
+    commit_interval_ops:
+        Logged operations per group commit.  1 commits every operation;
+        larger values batch, widening the window in which freed space is
+        unavailable for reuse.
+    record_bytes:
+        Bytes appended to the log per operation.
+    """
+
+    def __init__(self, device: BlockDevice, free_index: FreeExtentIndex, *,
+                 log_base: int, log_size: int,
+                 commit_interval_ops: int = 8,
+                 record_bytes: int = 4096,
+                 charge_io: bool = True) -> None:
+        if commit_interval_ops < 1:
+            raise ConfigError("commit_interval_ops must be >= 1")
+        if log_size < record_bytes:
+            raise ConfigError("log region smaller than one record")
+        self._device = device
+        self._free_index = free_index
+        self._log_base = log_base
+        self._log_size = log_size
+        self._commit_interval = commit_interval_ops
+        self._record_bytes = record_bytes
+        self._charge_io = charge_io
+        self._cursor = 0
+        self._ops_since_commit = 0
+        self._buffered_records = 0
+        self._pending_frees: list[Extent] = []
+        self.commits = 0
+        self.logged_ops = 0
+
+    # ------------------------------------------------------------------
+    def log_operation(self, *, frees: list[Extent] | None = None) -> None:
+        """Record one metadata operation (create/delete/rename/extend).
+
+        Records accumulate in the in-memory log buffer (no I/O yet —
+        like NTFS's log buffer) and hit the platter as one sequential
+        write at the next group commit.  ``frees`` are extents released
+        by the operation; they become allocatable only at that commit.
+        """
+        self.logged_ops += 1
+        self._buffered_records += 1
+        if frees:
+            self._pending_frees.extend(frees)
+        self._ops_since_commit += 1
+        if self._ops_since_commit >= self._commit_interval:
+            self.commit()
+
+    def commit(self) -> None:
+        """Write the buffered records, force the log, publish frees."""
+        if self._ops_since_commit == 0 and not self._pending_frees \
+                and self._buffered_records == 0:
+            return
+        if self._charge_io and self._buffered_records:
+            nbytes = self._buffered_records * self._record_bytes
+            if self._cursor + nbytes > self._log_size:
+                self._cursor = 0
+            nbytes = min(nbytes, self._log_size)
+            self._device.write(self._log_base + self._cursor, nbytes)
+            self._cursor += nbytes
+        if self._charge_io:
+            self._device.flush()
+        self._buffered_records = 0
+        self.commits += 1
+        self._ops_since_commit = 0
+        pending, self._pending_frees = self._pending_frees, []
+        for ext in pending:
+            self._free_index.add(ext)
+
+    @property
+    def pending_free_bytes(self) -> int:
+        return sum(e.length for e in self._pending_frees)
+
+    @property
+    def pending_free_count(self) -> int:
+        return len(self._pending_frees)

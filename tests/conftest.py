@@ -1,0 +1,86 @@
+"""Shared fixtures: small devices, filesystems, databases, and stores.
+
+Everything here is deliberately tiny (tens of MB) so the whole suite
+runs in seconds; the benches own the realistic scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.blob_backend import BlobBackend
+from repro.backends.file_backend import FileBackend
+from repro.db.database import DbConfig, SimDatabase
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import scaled_disk
+from repro.fs.filesystem import FsConfig, SimFilesystem
+from repro.units import MB
+
+
+@pytest.fixture
+def device() -> BlockDevice:
+    """64 MB timing-only device."""
+    return BlockDevice(scaled_disk(64 * MB))
+
+
+@pytest.fixture
+def content_device() -> BlockDevice:
+    """64 MB device that stores written bytes."""
+    return BlockDevice(scaled_disk(64 * MB), store_data=True)
+
+
+@pytest.fixture
+def fs(device: BlockDevice) -> SimFilesystem:
+    return SimFilesystem(device)
+
+
+@pytest.fixture
+def content_fs(content_device: BlockDevice) -> SimFilesystem:
+    return SimFilesystem(content_device)
+
+
+@pytest.fixture
+def quiet_fs_config() -> FsConfig:
+    """No metadata traffic, tiny metadata regions — deterministic layout
+    for allocation-exactness tests."""
+    return FsConfig(
+        metadata_interval_events=0,
+        mft_zone_bytes=1 * MB,
+        log_bytes=1 * MB,
+        charge_metadata_io=False,
+    )
+
+
+@pytest.fixture
+def quiet_fs(device: BlockDevice, quiet_fs_config: FsConfig) -> SimFilesystem:
+    return SimFilesystem(device, quiet_fs_config)
+
+
+@pytest.fixture
+def db(device: BlockDevice) -> SimDatabase:
+    return SimDatabase(device, config=DbConfig())
+
+
+@pytest.fixture
+def content_db(content_device: BlockDevice) -> SimDatabase:
+    return SimDatabase(content_device, config=DbConfig())
+
+
+@pytest.fixture
+def file_store() -> FileBackend:
+    return FileBackend(BlockDevice(scaled_disk(64 * MB)))
+
+
+@pytest.fixture
+def blob_store() -> BlobBackend:
+    return BlobBackend(BlockDevice(scaled_disk(64 * MB)))
+
+
+@pytest.fixture
+def content_file_store() -> FileBackend:
+    return FileBackend(BlockDevice(scaled_disk(64 * MB), store_data=True))
+
+
+@pytest.fixture
+def content_blob_store() -> BlobBackend:
+    return BlobBackend(BlockDevice(scaled_disk(64 * MB), store_data=True))

@@ -1,0 +1,109 @@
+"""Tests for the Extent value type and coalescing."""
+
+import pytest
+
+from repro.alloc.extent import Extent, coalesce, total_length
+from repro.errors import ConfigError
+
+
+class TestExtentBasics:
+    def test_end(self):
+        assert Extent(10, 5).end == 15
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigError):
+            Extent(-1, 5)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ConfigError):
+            Extent(0, 0)
+
+    def test_ordering_by_start(self):
+        assert sorted([Extent(10, 1), Extent(0, 1)])[0].start == 0
+
+    def test_contains(self):
+        e = Extent(10, 5)
+        assert e.contains(10)
+        assert e.contains(14)
+        assert not e.contains(15)
+        assert not e.contains(9)
+
+    def test_contains_extent(self):
+        assert Extent(0, 10).contains_extent(Extent(2, 3))
+        assert not Extent(0, 10).contains_extent(Extent(8, 3))
+
+
+class TestOverlapAdjacency:
+    def test_overlaps(self):
+        assert Extent(0, 10).overlaps(Extent(5, 10))
+        assert not Extent(0, 10).overlaps(Extent(10, 5))
+
+    def test_adjacent(self):
+        assert Extent(0, 10).adjacent_to(Extent(10, 5))
+        assert Extent(10, 5).adjacent_to(Extent(0, 10))
+        assert not Extent(0, 10).adjacent_to(Extent(11, 5))
+
+    def test_merge_adjacent(self):
+        assert Extent(0, 10).merge(Extent(10, 5)) == Extent(0, 15)
+
+    def test_merge_disjoint_rejected(self):
+        with pytest.raises(ConfigError):
+            Extent(0, 10).merge(Extent(20, 5))
+
+
+class TestSplitTake:
+    def test_split_at(self):
+        left, right = Extent(0, 10).split_at(4)
+        assert left == Extent(0, 4)
+        assert right == Extent(4, 6)
+
+    def test_split_at_boundary_rejected(self):
+        with pytest.raises(ConfigError):
+            Extent(0, 10).split_at(0)
+        with pytest.raises(ConfigError):
+            Extent(0, 10).split_at(10)
+
+    def test_take_front(self):
+        taken, rest = Extent(100, 10).take_front(4)
+        assert taken == Extent(100, 4)
+        assert rest == Extent(104, 6)
+
+    def test_take_front_all(self):
+        taken, rest = Extent(100, 10).take_front(10)
+        assert taken == Extent(100, 10)
+        assert rest is None
+
+    def test_take_back(self):
+        taken, rest = Extent(100, 10).take_back(4)
+        assert taken == Extent(106, 4)
+        assert rest == Extent(100, 6)
+
+    def test_take_too_much_rejected(self):
+        with pytest.raises(ConfigError):
+            Extent(0, 10).take_front(11)
+
+
+class TestCoalesce:
+    def test_empty(self):
+        assert coalesce([]) == []
+
+    def test_merges_touching(self):
+        assert coalesce([Extent(0, 10), Extent(10, 5)]) == [Extent(0, 15)]
+
+    def test_keeps_gaps(self):
+        out = coalesce([Extent(20, 5), Extent(0, 10)])
+        assert out == [Extent(0, 10), Extent(20, 5)]
+
+    def test_unsorted_input(self):
+        out = coalesce([Extent(10, 5), Extent(0, 10), Extent(15, 1)])
+        assert out == [Extent(0, 16)]
+
+    def test_fragment_count_semantics(self):
+        # A contiguous object has one fragment (Figure 2's caption).
+        contiguous = [Extent(0, 64), Extent(64, 64), Extent(128, 64)]
+        assert len(coalesce(contiguous)) == 1
+        scattered = [Extent(0, 64), Extent(128, 64), Extent(256, 64)]
+        assert len(coalesce(scattered)) == 3
+
+    def test_total_length(self):
+        assert total_length([Extent(0, 10), Extent(100, 5)]) == 15

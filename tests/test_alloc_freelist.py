@@ -1,0 +1,161 @@
+"""Tests for the coalescing free-extent index."""
+
+import pytest
+
+from repro.alloc.extent import Extent
+from repro.alloc.freelist import FreeExtentIndex
+from repro.errors import CorruptionError
+
+
+@pytest.fixture
+def index():
+    return FreeExtentIndex(1000)
+
+
+class TestInit:
+    def test_initially_free(self, index):
+        assert index.total_free == 1000
+        assert len(index) == 1
+        assert list(index) == [Extent(0, 1000)]
+
+    def test_initially_empty(self):
+        idx = FreeExtentIndex(1000, initially_free=False)
+        assert idx.total_free == 0
+        assert len(idx) == 0
+
+
+class TestRemoveAdd:
+    def test_remove_front(self, index):
+        index.remove(Extent(0, 100))
+        assert list(index) == [Extent(100, 900)]
+
+    def test_remove_middle_splits(self, index):
+        index.remove(Extent(400, 100))
+        assert list(index) == [Extent(0, 400), Extent(500, 500)]
+        assert index.total_free == 900
+
+    def test_remove_not_free_rejected(self, index):
+        index.remove(Extent(0, 500))
+        with pytest.raises(CorruptionError):
+            index.remove(Extent(100, 10))
+
+    def test_remove_straddling_rejected(self, index):
+        index.remove(Extent(100, 100))
+        with pytest.raises(CorruptionError):
+            index.remove(Extent(150, 100))
+
+    def test_add_coalesces_left(self, index):
+        index.remove(Extent(100, 200))
+        index.add(Extent(100, 100))  # touches [0,100) free run
+        assert list(index) == [Extent(0, 200), Extent(300, 700)]
+
+    def test_add_coalesces_right(self, index):
+        index.remove(Extent(100, 200))
+        index.add(Extent(200, 100))
+        assert list(index) == [Extent(0, 100), Extent(200, 800)]
+
+    def test_add_coalesces_both_sides(self, index):
+        index.remove(Extent(100, 200))
+        index.add(Extent(100, 200))
+        assert list(index) == [Extent(0, 1000)]
+
+    def test_double_free_rejected(self, index):
+        with pytest.raises(CorruptionError):
+            index.add(Extent(0, 10))
+
+    def test_partial_overlap_free_rejected(self, index):
+        index.remove(Extent(0, 100))
+        with pytest.raises(CorruptionError):
+            index.add(Extent(50, 100))
+
+    def test_add_past_capacity_rejected(self):
+        idx = FreeExtentIndex(100, initially_free=False)
+        with pytest.raises(CorruptionError):
+            idx.add(Extent(50, 100))
+
+
+class TestQueries:
+    def test_run_at(self, index):
+        index.remove(Extent(100, 100))
+        assert index.run_at(50) == Extent(0, 100)
+        assert index.run_at(150) is None
+        assert index.run_at(250) == Extent(200, 800)
+
+    def test_run_starting_at(self, index):
+        index.remove(Extent(0, 100))
+        assert index.run_starting_at(100) == Extent(100, 900)
+        assert index.run_starting_at(50) is None
+
+    def test_first_fit(self, index):
+        index.remove(Extent(0, 100))    # free: [100, 1000)
+        index.remove(Extent(200, 700))  # free: [100,200) and [900,1000)
+        assert index.first_fit(50) == Extent(100, 100)
+        assert index.first_fit(150) is None
+        assert index.first_fit(100, min_start=150) == Extent(900, 100)
+
+    def test_first_fit_min_start_inside_run(self, index):
+        # A run straddling min_start counts if its usable tail fits.
+        assert index.first_fit(100, min_start=900) == Extent(0, 1000)
+        assert index.first_fit(100, min_start=901) is None
+
+    def test_best_fit_prefers_smallest(self, index):
+        index.remove(Extent(100, 100))  # [0,100), [200,1000)
+        index.remove(Extent(250, 700))  # [0,100), [200,250), [950,1000)
+        assert index.best_fit(40) == Extent(200, 50)
+        assert index.best_fit(60) == Extent(0, 100)
+        assert index.best_fit(200) is None
+
+    def test_best_fit_tie_lowest_address(self, index):
+        index.remove(Extent(100, 100))
+        index.remove(Extent(300, 100))
+        index.remove(Extent(500, 500))
+        # Two 100-byte runs at 200 and 400? free: [0,100),[200,300),[400,500)
+        assert index.best_fit(100) == Extent(0, 100)
+
+    def test_worst_fit_takes_largest(self, index):
+        index.remove(Extent(0, 600))
+        assert index.worst_fit(100) == Extent(600, 400)
+        assert index.worst_fit(500) is None
+
+    def test_next_fit_wraps(self, index):
+        index.remove(Extent(100, 800))  # [0,100) and [900,1000)
+        assert index.next_fit(50, cursor=500) == Extent(900, 100)
+        assert index.next_fit(50, cursor=950) == Extent(900, 100)
+
+    def test_largest(self, index):
+        index.remove(Extent(0, 300))
+        index.remove(Extent(400, 100))
+        assert index.largest() == Extent(500, 500)
+
+    def test_runs_by_size_desc(self, index):
+        index.remove(Extent(100, 100))  # [0,100), [200,1000)
+        sizes = [r.length for r in index.runs_by_size_desc()]
+        assert sizes == [800, 100]
+
+
+class TestInvariants:
+    def test_check_invariants_clean(self, index):
+        index.remove(Extent(100, 100))
+        index.add(Extent(150, 10))
+        index.check_invariants()
+
+    def test_many_operations_stay_consistent(self, index):
+        import random
+
+        rng = random.Random(42)
+        allocated: list[Extent] = []
+        for _ in range(300):
+            if allocated and rng.random() < 0.45:
+                ext = allocated.pop(rng.randrange(len(allocated)))
+                index.add(ext)
+            else:
+                size = rng.randint(1, 40)
+                run = index.first_fit(size)
+                if run is None:
+                    continue
+                taken, _ = run.take_front(size)
+                index.remove(taken)
+                allocated.append(taken)
+            index.check_invariants()
+        total = index.total_free + sum(e.length for e in allocated)
+        assert total == 1000

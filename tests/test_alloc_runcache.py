@@ -1,0 +1,147 @@
+"""Tests for the NTFS-style run cache allocator."""
+
+import pytest
+
+from repro.alloc.extent import Extent
+from repro.alloc.freelist import FreeExtentIndex
+from repro.alloc.runcache import NtfsRunCache
+from repro.errors import AllocationError, ConfigError
+from repro.units import KB, MB
+
+
+def make_cache(capacity=100 * MB, band=0.125, cache_size=64):
+    index = FreeExtentIndex(capacity)
+    return NtfsRunCache(index, outer_band_fraction=band,
+                        cache_size=cache_size), index
+
+
+class TestChoose:
+    def test_outer_band_preferred(self):
+        cache, index = make_cache()
+        # Carve the volume so a band hole and a bigger non-band run exist.
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(1 * MB, 2 * MB))       # in band (limit 12.5 MB)
+        index.add(Extent(50 * MB, 40 * MB))     # larger, out of band
+        assert cache.choose(1 * MB) == Extent(1 * MB, 2 * MB)
+
+    def test_band_rule_picks_lowest_offset(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(4 * MB, 2 * MB))
+        index.add(Extent(1 * MB, 2 * MB))
+        assert cache.choose(1 * MB).start == 1 * MB
+
+    def test_band_hole_too_small_falls_to_largest(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(1 * MB, 1 * MB))       # band, too small
+        index.add(Extent(40 * MB, 20 * MB))
+        index.add(Extent(70 * MB, 10 * MB))
+        assert cache.choose(5 * MB) == Extent(40 * MB, 20 * MB)
+
+    def test_largest_rule_breaks_ties_to_lower_offset(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(60 * MB, 10 * MB))
+        index.add(Extent(30 * MB, 10 * MB))
+        assert cache.choose(5 * MB).start == 30 * MB
+
+    def test_none_when_nothing_fits(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(20 * MB, 1 * MB))
+        assert cache.choose(2 * MB) is None
+
+    def test_cache_size_limits_visibility(self):
+        cache, index = make_cache(cache_size=2)
+        index.remove(Extent(0, 100 * MB))
+        # Three runs; only the two largest are cached.  The small exact
+        # fit is invisible, so the larger run gets split instead.
+        index.add(Extent(90 * MB, 64 * KB))
+        index.add(Extent(40 * MB, 10 * MB))
+        index.add(Extent(60 * MB, 20 * MB))
+        chosen = cache.choose(64 * KB)
+        assert chosen.start in (40 * MB, 60 * MB)
+
+
+class TestAllocate:
+    def test_contiguous_when_run_fits(self):
+        cache, index = make_cache()
+        pieces = cache.allocate(1 * MB)
+        assert len(pieces) == 1
+        assert pieces[0].length == 1 * MB
+        assert index.total_free == 99 * MB
+
+    def test_fragments_largest_first(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(10 * MB, 3 * MB))
+        index.add(Extent(50 * MB, 2 * MB))
+        index.add(Extent(80 * MB, 1 * MB))
+        pieces = cache.allocate(5 * MB)
+        assert sum(p.length for p in pieces) == 5 * MB
+        assert pieces[0] == Extent(10 * MB, 3 * MB)   # largest first
+        assert pieces[1] == Extent(50 * MB, 2 * MB)
+
+    def test_raises_when_volume_full(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(0, 1 * MB))
+        with pytest.raises(AllocationError):
+            cache.allocate(2 * MB)
+
+    def test_size_validation(self):
+        cache, _ = make_cache()
+        with pytest.raises(ConfigError):
+            cache.allocate(0)
+
+
+class TestTryExtend:
+    def test_extends_into_free_neighbour(self):
+        cache, index = make_cache()
+        [first] = cache.allocate(1 * MB)
+        ext = cache.try_extend(first.end, 64 * KB)
+        assert ext == Extent(first.end, 64 * KB)
+
+    def test_no_extension_when_space_taken(self):
+        cache, index = make_cache()
+        [first] = cache.allocate(1 * MB)
+        index.remove(Extent(first.end, 4 * KB))  # someone else took it
+        assert cache.try_extend(first.end, 64 * KB) is None
+
+    def test_partial_extension_in_band(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(1 * MB, 32 * KB))  # small band run
+        ext = cache.try_extend(1 * MB, 64 * KB)
+        assert ext == Extent(1 * MB, 32 * KB)  # takes what's there
+
+    def test_out_of_band_requires_full_fit(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(50 * MB, 32 * KB))
+        assert cache.try_extend(50 * MB, 64 * KB) is None
+
+    def test_stickiness_hysteresis(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(50 * MB, 2 * MB))    # the run being eaten
+        index.add(Extent(70 * MB, 10 * MB))   # a much larger competitor
+        # 2 MB < 0.5 * 10 MB: the growing file abandons its run.
+        assert cache.try_extend(50 * MB, 64 * KB, stickiness=0.5) is None
+        # With stickiness 0 it always extends.
+        ext = cache.try_extend(50 * MB, 64 * KB, stickiness=0.0)
+        assert ext == Extent(50 * MB, 64 * KB)
+
+    def test_band_runs_always_sticky(self):
+        cache, index = make_cache()
+        index.remove(Extent(0, 100 * MB))
+        index.add(Extent(1 * MB, 2 * MB))     # in band
+        index.add(Extent(70 * MB, 20 * MB))   # huge competitor
+        ext = cache.try_extend(1 * MB, 64 * KB, stickiness=0.9)
+        assert ext == Extent(1 * MB, 64 * KB)
+
+    def test_stickiness_validation(self):
+        cache, _ = make_cache()
+        with pytest.raises(ConfigError):
+            cache.try_extend(0, 64 * KB, stickiness=1.5)

@@ -1,0 +1,144 @@
+"""Cross-backend contract tests: every backend honours ObjectStore.
+
+One parametrized suite runs against all four backends, checking the
+get/put semantics the experiment driver relies on.  Backend-specific
+behaviour lives in the dedicated test modules.
+"""
+
+import pytest
+
+from repro.backends.base import ObjectStore
+from repro.backends.blob_backend import BlobBackend
+from repro.backends.file_backend import FileBackend
+from repro.backends.gfs_backend import GfsChunkBackend
+from repro.backends.lfs_backend import LfsBackend
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import scaled_disk
+from repro.errors import ObjectNotFoundError
+from repro.units import KB, MB
+
+BACKENDS = ["filesystem", "database", "gfs", "lfs"]
+
+
+def make_store(kind: str, *, store_data: bool = False,
+               capacity: int = 64 * MB):
+    device = BlockDevice(scaled_disk(capacity), store_data=store_data)
+    if kind == "filesystem":
+        return FileBackend(device)
+    if kind == "database":
+        return BlobBackend(device)
+    if kind == "gfs":
+        return GfsChunkBackend(device, chunk_size=8 * MB)
+    if kind == "lfs":
+        return LfsBackend(device, segment_size=2 * MB)
+    raise AssertionError(kind)
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request):
+    return make_store(request.param)
+
+
+@pytest.fixture(params=BACKENDS)
+def content_store(request):
+    return make_store(request.param, store_data=True)
+
+
+class TestProtocol:
+    def test_satisfies_runtime_protocol(self, store):
+        assert isinstance(store, ObjectStore)
+
+    def test_put_get_exists(self, store):
+        store.put("a", size=256 * KB)
+        assert store.exists("a")
+        assert store.meta("a").size == 256 * KB
+        store.get("a")  # timed read must not raise
+
+    def test_keys(self, store):
+        for i in range(5):
+            store.put(f"k{i}", size=64 * KB)
+        assert sorted(store.keys()) == [f"k{i}" for i in range(5)]
+
+    def test_missing_object_raises(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.get("ghost")
+        with pytest.raises(ObjectNotFoundError):
+            store.meta("ghost")
+
+    def test_delete(self, store):
+        store.put("a", size=64 * KB)
+        store.delete("a")
+        assert not store.exists("a")
+        with pytest.raises(ObjectNotFoundError):
+            store.get("a")
+
+    def test_overwrite_bumps_version_and_size(self, store):
+        store.put("a", size=64 * KB)
+        store.overwrite("a", size=128 * KB)
+        meta = store.meta("a")
+        assert meta.size == 128 * KB
+        assert meta.version == 2
+
+    def test_object_extents_cover_size(self, store):
+        store.put("a", size=200 * KB)
+        extents = store.object_extents("a")
+        covered = sum(e.length for e in extents)
+        assert covered >= 200 * KB  # rounding to clusters/pages allowed
+        assert covered <= 200 * KB + 64 * KB
+
+    def test_devices_nonempty(self, store):
+        assert len(store.devices()) >= 1
+
+    def test_store_stats(self, store):
+        store.put("a", size=1 * MB)
+        stats = store.store_stats()
+        assert stats.objects == 1
+        assert stats.live_bytes == 1 * MB
+        assert 0 < stats.occupancy < 1
+        assert stats.capacity > 0
+
+    def test_free_bytes_decreases_with_data(self, store):
+        before = store.free_bytes()
+        store.put("a", size=1 * MB)
+        assert store.free_bytes() < before
+
+
+class TestContentParity:
+    def test_round_trip(self, content_store):
+        payload = bytes(range(256)) * (64 * KB // 256)
+        content_store.put("a", data=payload)
+        assert content_store.get("a") == payload
+
+    def test_overwrite_round_trip(self, content_store):
+        content_store.put("a", data=b"v1" * (32 * KB))
+        content_store.overwrite("a", data=b"v2" * (48 * KB))
+        assert content_store.get("a") == b"v2" * (48 * KB)
+
+    def test_range_read(self, content_store):
+        payload = b"".join(bytes([i] * KB) for i in range(128))
+        content_store.put("a", data=payload)
+        got = content_store.get("a", offset=37 * KB, length=3 * KB)
+        assert got == payload[37 * KB: 40 * KB]
+
+    def test_many_objects_independent(self, content_store):
+        for i in range(8):
+            content_store.put(f"k{i}", data=bytes([i]) * (16 * KB))
+        for i in range(8):
+            assert content_store.get(f"k{i}") == bytes([i]) * (16 * KB)
+
+
+class TestChurnParity:
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_sustained_churn_never_wedges(self, kind):
+        import random
+
+        rng = random.Random(13)
+        store = make_store(kind, capacity=32 * MB)
+        keys = [f"k{i}" for i in range(20)]
+        for key in keys:
+            store.put(key, size=512 * KB)
+        for _ in range(150):
+            store.overwrite(rng.choice(keys), size=512 * KB)
+        stats = store.store_stats()
+        assert stats.objects == 20
+        assert stats.live_bytes == 20 * 512 * KB

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("filesystem", "database", "gfs", "lfs"):
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_ages_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--ages", "4,2"])
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "oracle"])
+
+
+class TestRun:
+    def test_run_prints_tables(self, capsys):
+        code = main([
+            "run", "--backend", "filesystem",
+            "--object-size", "512K", "--volume", "64M",
+            "--occupancy", "0.4", "--ages", "0,1", "--reads", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fragments per object" in out
+        assert "Read throughput" in out
+        assert "bulk-load write throughput" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        main([
+            "run", "--backend", "database",
+            "--object-size", "256K", "--volume", "64M",
+            "--occupancy", "0.4", "--ages", "0", "--reads", "2",
+            "--json", str(path),
+        ])
+        payload = json.loads(path.read_text())
+        assert payload["backend"] == "database"
+        assert payload["samples"]
+
+    def test_uniform_sizes(self, capsys):
+        code = main([
+            "run", "--backend", "filesystem", "--uniform",
+            "--object-size", "512K", "--volume", "64M",
+            "--occupancy", "0.4", "--ages", "0", "--reads", "2",
+        ])
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_two_backends(self, tmp_path, capsys):
+        path = tmp_path / "cmp.json"
+        code = main([
+            "compare", "--against", "filesystem", "database",
+            "--object-size", "512K", "--volume", "64M",
+            "--occupancy", "0.4", "--ages", "0,1", "--reads", "2",
+            "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "filesystem" in out and "database" in out
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"filesystem", "database"}

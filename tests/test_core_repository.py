@@ -1,0 +1,106 @@
+"""Tests for the LargeObjectRepository facade."""
+
+import pytest
+
+from repro.core.repository import LargeObjectRepository
+from repro.errors import ConfigError, ObjectNotFoundError
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def repo(file_store):
+    return LargeObjectRepository(file_store)
+
+
+class TestBasicApi:
+    def test_put_get(self, repo):
+        repo.put("photo", size=256 * KB)
+        assert repo.exists("photo")
+        assert repo.meta("photo").size == 256 * KB
+        repo.get("photo")
+
+    def test_put_duplicate_rejected(self, repo):
+        repo.put("a", size=1 * KB)
+        with pytest.raises(ConfigError):
+            repo.put("a", size=1 * KB)
+
+    def test_replace_missing_rejected(self, repo):
+        with pytest.raises(ObjectNotFoundError):
+            repo.replace("ghost", size=1 * KB)
+
+    def test_delete(self, repo):
+        repo.put("a", size=1 * KB)
+        repo.delete("a")
+        assert not repo.exists("a")
+
+    def test_keys(self, repo):
+        repo.put("a", size=1 * KB)
+        repo.put("b", size=1 * KB)
+        assert sorted(repo.keys()) == ["a", "b"]
+
+    def test_exactly_one_of_size_data(self, repo):
+        with pytest.raises(ConfigError):
+            repo.put("a")
+        with pytest.raises(ConfigError):
+            repo.put("a", size=4, data=b"1234")
+
+
+class TestStorageAgeIntegration:
+    def test_age_advances_with_replaces(self, repo):
+        for i in range(4):
+            repo.put(f"k{i}", size=1 * MB)
+        assert repo.storage_age == 0.0
+        for i in range(4):
+            repo.replace(f"k{i}", size=1 * MB)
+        assert repo.storage_age == pytest.approx(1.0)
+
+    def test_delete_counts_dead_bytes(self, repo):
+        repo.put("a", size=1 * MB)
+        repo.put("b", size=1 * MB)
+        repo.delete("a")
+        assert repo.storage_age == pytest.approx(1.0)
+
+
+class TestInstrumentation:
+    def test_fragment_report(self, repo):
+        for i in range(4):
+            repo.put(f"k{i}", size=256 * KB)
+        report = repo.fragment_report()
+        assert report.objects == 4
+        assert report.mean == 1.0
+
+    def test_describe_mentions_key_facts(self, repo):
+        repo.put("a", size=1 * MB)
+        text = repo.describe()
+        assert "1 objects" in text
+        assert "storage age" in text
+        assert "fragments/object" in text
+
+    def test_store_stats_passthrough(self, repo):
+        repo.put("a", size=1 * MB)
+        assert repo.store_stats().live_bytes == 1 * MB
+
+
+class TestTaggedContent:
+    def test_tagged_mode_writes_markers(self, content_file_store):
+        repo = LargeObjectRepository(content_file_store, tag_content=True)
+        repo.put("a", size=64 * KB)
+        data = repo.get("a")
+        assert data.startswith(b"FRAG")
+
+    def test_object_ids_stable_across_replace(self, content_file_store):
+        repo = LargeObjectRepository(content_file_store, tag_content=True)
+        repo.put("a", size=64 * KB)
+        first = repo.object_id("a")
+        repo.replace("a", size=64 * KB)
+        assert repo.object_id("a") == first
+
+    def test_object_id_requires_tagging(self, repo):
+        repo.put("a", size=1 * KB)
+        with pytest.raises(ObjectNotFoundError):
+            repo.object_id("a")
+
+    def test_explicit_data_bypasses_tagging(self, content_file_store):
+        repo = LargeObjectRepository(content_file_store, tag_content=True)
+        repo.put("a", data=b"user bytes")
+        assert repo.get("a") == b"user bytes"

@@ -1,0 +1,134 @@
+"""Tests for the GAM/PFS-style page and extent allocator."""
+
+import pytest
+
+from repro.db.gam import GamAllocator
+from repro.errors import AllocationError, ConfigError, CorruptionError
+from repro.units import PAGES_PER_EXTENT
+
+
+@pytest.fixture
+def gam():
+    return GamAllocator(16)  # 16 extents = 128 pages
+
+
+class TestUniformExtents:
+    def test_lowest_first(self, gam):
+        assert gam.alloc_uniform_extent() == 0
+        assert gam.alloc_uniform_extent() == 1
+
+    def test_freed_extent_reused_lowest_first(self, gam):
+        for _ in range(4):
+            gam.alloc_uniform_extent()
+        gam.free_pages(list(range(8, 16)))   # free extent 1 entirely
+        assert gam.alloc_uniform_extent() == 1
+
+    def test_exhaustion_returns_none(self, gam):
+        for _ in range(16):
+            assert gam.alloc_uniform_extent() is not None
+        assert gam.alloc_uniform_extent() is None
+
+
+class TestPageAllocation:
+    def test_lowest_page_first(self, gam):
+        assert gam.alloc_page() == 0
+        assert gam.alloc_page() == 1
+
+    def test_prefers_partial_extent_below_free(self, gam):
+        gam.alloc_page()  # extent 0 now partial
+        gam.alloc_uniform_extent()  # extent 1 full
+        assert gam.alloc_page() == 1 * 0 + 1  # next page in extent 0
+
+    def test_address_order_across_frees(self, gam):
+        pages = [gam.alloc_page() for _ in range(20)]
+        gam.free_page(pages[3])
+        gam.free_page(pages[11])
+        assert gam.alloc_page() == pages[3]
+        assert gam.alloc_page() == pages[11]
+
+    def test_full_raises(self, gam):
+        for _ in range(16 * PAGES_PER_EXTENT):
+            gam.alloc_page()
+        with pytest.raises(AllocationError):
+            gam.alloc_page()
+
+
+class TestAllocPages:
+    def test_prefers_whole_extents(self, gam):
+        pages = gam.alloc_pages(20)
+        assert pages[:8] == list(range(0, 8))
+        assert pages[8:16] == list(range(8, 16))
+        assert len(pages) == 20
+
+    def test_remainder_uses_single_pages(self, gam):
+        pages = gam.alloc_pages(10)
+        # 8 from a uniform extent, 2 singles from the next extent.
+        assert len(pages) == 10
+        assert len(set(pages)) == 10
+
+    def test_falls_back_to_partials_when_no_free_extent(self, gam):
+        gam.alloc_pages(16 * PAGES_PER_EXTENT)  # fill the file
+        # Free scattered single pages across several extents.
+        for page in (5, 21, 77, 99):
+            gam.free_page(page)
+        got = gam.alloc_pages(4)
+        assert sorted(got) == [5, 21, 77, 99]
+
+    def test_insufficient_space(self, gam):
+        gam.alloc_pages(120)
+        with pytest.raises(AllocationError):
+            gam.alloc_pages(16)
+
+    def test_count_validation(self, gam):
+        with pytest.raises(ConfigError):
+            gam.alloc_pages(0)
+
+
+class TestFree:
+    def test_double_free_rejected(self, gam):
+        page = gam.alloc_page()
+        gam.free_page(page)
+        with pytest.raises(CorruptionError):
+            gam.free_page(page)
+
+    def test_free_unallocated_rejected(self, gam):
+        with pytest.raises(CorruptionError):
+            gam.free_page(42)
+
+    def test_out_of_range_rejected(self, gam):
+        with pytest.raises(CorruptionError):
+            gam.free_page(128)
+
+    def test_counts(self, gam):
+        assert gam.free_page_count == 128
+        gam.alloc_pages(10)
+        assert gam.free_page_count == 118
+        assert gam.used_page_count == 10
+
+
+class TestInvariants:
+    def test_random_churn_consistent(self, gam):
+        import random
+
+        rng = random.Random(5)
+        live: list[int] = []
+        for _ in range(400):
+            if live and rng.random() < 0.5:
+                idx = rng.randrange(len(live))
+                gam.free_page(live.pop(idx))
+            else:
+                try:
+                    live.extend(gam.alloc_pages(rng.randint(1, 12)))
+                except AllocationError:
+                    pass
+            gam.check_invariants()
+        assert gam.used_page_count == len(live)
+
+    def test_extent_classification(self, gam):
+        gam.alloc_page()
+        assert gam.partial_extent_count == 1
+        assert gam.free_extent_count == 15
+        gam.alloc_pages(7)  # fills extent 0
+        assert gam.partial_extent_count == 0
+        assert gam.is_page_used(0)
+        assert not gam.is_page_used(8)

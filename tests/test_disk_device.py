@@ -1,0 +1,199 @@
+"""Tests for the block device: service times, head tracking, content."""
+
+import pytest
+
+from repro.alloc.extent import Extent
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import make_disk, scaled_disk
+from repro.errors import ConfigError
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def dev():
+    return BlockDevice(scaled_disk(64 * MB))
+
+
+class TestServiceModel:
+    def test_random_read_charges_seek_and_rotation(self, dev):
+        dev.read(32 * MB, 64 * KB)
+        stats = dev.stats
+        assert stats.seeks == 1
+        geometry = dev.geometry
+        floor = (geometry.settle_s + geometry.avg_rotational_latency_s
+                 + geometry.per_request_overhead_s)
+        assert stats.read_time_s > floor
+
+    def test_sequential_read_avoids_second_seek(self, dev):
+        dev.read(1 * MB, 64 * KB)
+        dev.read(1 * MB + 64 * KB, 64 * KB)  # continues at head position
+        assert dev.stats.seeks == 1
+
+    def test_small_forward_gap_is_sequential(self, dev):
+        dev.read(1 * MB, 64 * KB)
+        dev.read(1 * MB + 80 * KB, 16 * KB)  # within track-buffer window
+        assert dev.stats.seeks == 1
+
+    def test_initial_access_at_head_position_is_free(self, dev):
+        dev.read(0, 64 * KB)  # head parks at 0; no seek charged
+        assert dev.stats.seeks == 0
+
+    def test_backward_gap_seeks(self, dev):
+        dev.read(1 * MB, 64 * KB)
+        dev.read(0, 64 * KB)
+        assert dev.stats.seeks == 2
+
+    def test_fragmented_request_costs_one_seek_per_fragment(self, dev):
+        contiguous = BlockDevice(dev.geometry)
+        contiguous.read_extents([Extent(4 * MB, 256 * KB)])
+        fragmented = BlockDevice(dev.geometry)
+        fragmented.read_extents([
+            Extent(4 * MB, 64 * KB),
+            Extent(8 * MB, 64 * KB),
+            Extent(16 * MB, 64 * KB),
+            Extent(24 * MB, 64 * KB),
+        ])
+        assert fragmented.stats.seeks == 4
+        assert contiguous.stats.seeks == 1
+        assert fragmented.stats.read_time_s > \
+            contiguous.stats.read_time_s * 2
+
+    def test_write_and_read_accounted_separately(self, dev):
+        dev.write(0, 1 * MB)
+        dev.read(0, 2 * MB)
+        assert dev.stats.write_bytes == 1 * MB
+        assert dev.stats.read_bytes == 2 * MB
+        assert dev.stats.write_time_s > 0
+        assert dev.stats.read_time_s > 0
+
+    def test_flush_costs_a_rotation(self, dev):
+        before = dev.stats.write_time_s
+        dev.flush()
+        assert dev.stats.write_time_s - before == pytest.approx(
+            dev.geometry.rotation_s
+        )
+
+    def test_clock_accumulates(self, dev):
+        assert dev.clock_s == 0.0
+        dev.read(0, 1 * MB)
+        t1 = dev.clock_s
+        dev.write(32 * MB, 1 * MB)
+        assert dev.clock_s > t1
+
+    def test_extent_outside_volume_rejected(self, dev):
+        with pytest.raises(ConfigError):
+            dev.read(64 * MB - 1024, 64 * KB)
+
+    def test_throughput_of_sequential_stream_approaches_media_rate(self):
+        disk = make_disk(64 * MB, nzones=1, outer_rate=50 * MB,
+                         inner_rate=50 * MB)
+        dev = BlockDevice(disk)
+        for i in range(64):
+            dev.write(i * MB, 1 * MB)
+        rate = dev.stats.write_bytes / dev.stats.write_time_s
+        assert rate == pytest.approx(50 * MB, rel=0.05)
+
+
+class TestHeadTracking:
+    def test_head_moves_to_end_of_request(self, dev):
+        dev.read(1 * MB, 64 * KB)
+        assert dev.head_position == 1 * MB + 64 * KB
+
+    def test_multi_extent_head_at_last(self, dev):
+        dev.read_extents([Extent(0, KB), Extent(2 * MB, KB)])
+        assert dev.head_position == 2 * MB + KB
+
+
+class TestContentStore:
+    def test_timing_only_device_returns_none(self, dev):
+        dev.write(0, 1024)
+        assert dev.read(0, 1024) is None
+
+    def test_round_trip(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        payload = bytes(range(256)) * 4
+        dev.write(4096, len(payload), payload)
+        assert dev.read(4096, len(payload)) == payload
+
+    def test_unwritten_reads_zeros(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        assert dev.read(0, 16) == b"\x00" * 16
+
+    def test_overwrite_replaces(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        dev.write(0, 8, b"AAAAAAAA")
+        dev.write(4, 8, b"BBBBBBBB")
+        assert dev.peek(0, 12) == b"AAAABBBBBBBB"
+
+    def test_partial_overlap_left_and_right(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        dev.write(10, 10, b"X" * 10)
+        dev.write(5, 10, b"Y" * 10)   # covers [5, 15)
+        dev.write(18, 4, b"Z" * 4)    # covers [18, 22)
+        assert dev.peek(5, 17) == b"Y" * 10 + b"X" * 3 + b"ZZZZ"
+
+    def test_write_inside_existing_segment(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        dev.write(0, 16, b"A" * 16)
+        dev.write(4, 4, b"BBBB")
+        assert dev.peek(0, 16) == b"AAAA" + b"BBBB" + b"A" * 8
+
+    def test_multi_extent_write_and_read(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        extents = [Extent(0, 4), Extent(100, 4)]
+        dev.write_extents(extents, b"ABCDEFGH")
+        assert dev.read_extents(extents) == b"ABCDEFGH"
+        assert dev.peek(100, 4) == b"EFGH"
+
+    def test_data_length_mismatch_rejected(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        with pytest.raises(ConfigError):
+            dev.write_extents([Extent(0, 8)], b"short")
+
+    def test_peek_poke_do_not_charge_time(self):
+        dev = BlockDevice(scaled_disk(4 * MB), store_data=True)
+        dev.poke(0, b"hello")
+        assert dev.peek(0, 5) == b"hello"
+        assert dev.stats.busy_time_s == 0.0
+
+    def test_peek_requires_content_mode(self, dev):
+        with pytest.raises(ConfigError):
+            dev.peek(0, 4)
+
+
+class TestWindows:
+    def test_window_captures_subset(self, dev):
+        dev.read(0, 1 * MB)
+        win = dev.stats.start_window("phase")
+        dev.read(2 * MB, 1 * MB)
+        dev.stats.end_window(win)
+        dev.read(4 * MB, 1 * MB)
+        assert win.read_bytes == 1 * MB
+        assert dev.stats.read_bytes == 3 * MB
+
+    def test_nested_windows(self, dev):
+        outer = dev.stats.start_window("outer")
+        dev.write(0, 1 * MB)
+        inner = dev.stats.start_window("inner")
+        dev.write(1 * MB, 1 * MB)
+        dev.stats.end_window(inner)
+        dev.write(2 * MB, 1 * MB)
+        dev.stats.end_window(outer)
+        assert inner.write_bytes == 1 * MB
+        assert outer.write_bytes == 3 * MB
+
+    def test_cpu_time_lands_in_windows(self, dev):
+        win = dev.stats.start_window("w")
+        dev.stats.record_cpu(0.25)
+        dev.stats.end_window(win)
+        assert win.cpu_time_s == 0.25
+        assert win.total_time_s == pytest.approx(0.25)
+
+    def test_throughput_computation(self, dev):
+        win = dev.stats.start_window("w")
+        dev.read(0, 10 * MB)
+        dev.stats.end_window(win)
+        assert win.read_throughput() == pytest.approx(
+            win.read_bytes / win.read_time_s
+        )
+        assert win.throughput() > 0

@@ -1,0 +1,92 @@
+"""Tests for the filesystem journal and deferred free reuse."""
+
+import pytest
+
+from repro.alloc.extent import Extent
+from repro.alloc.freelist import FreeExtentIndex
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import scaled_disk
+from repro.errors import ConfigError
+from repro.fs.journal import Journal
+from repro.units import MB
+
+
+def make_journal(commit_interval=4, charge_io=True):
+    device = BlockDevice(scaled_disk(16 * MB))
+    index = FreeExtentIndex(16 * MB, initially_free=False)
+    journal = Journal(device, index, log_base=0, log_size=1 * MB,
+                      commit_interval_ops=commit_interval,
+                      charge_io=charge_io)
+    return journal, index, device
+
+
+class TestDeferredFrees:
+    def test_frees_invisible_until_commit(self):
+        journal, index, _ = make_journal(commit_interval=4)
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        assert index.total_free == 0
+        assert journal.pending_free_bytes == 1 * MB
+
+    def test_commit_publishes_frees(self):
+        journal, index, _ = make_journal(commit_interval=100)
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        journal.commit()
+        assert index.total_free == 1 * MB
+        assert journal.pending_free_bytes == 0
+
+    def test_auto_commit_on_interval(self):
+        journal, index, _ = make_journal(commit_interval=3)
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        journal.log_operation()
+        assert index.total_free == 0
+        journal.log_operation()  # third op triggers the group commit
+        assert index.total_free == 1 * MB
+        assert journal.commits == 1
+
+    def test_published_frees_coalesce(self):
+        journal, index, _ = make_journal(commit_interval=100)
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        journal.log_operation(frees=[Extent(3 * MB, 1 * MB)])
+        journal.commit()
+        assert list(index) == [Extent(2 * MB, 2 * MB)]
+
+    def test_empty_commit_is_noop(self):
+        journal, _, device = make_journal()
+        before = device.stats.write_time_s
+        journal.commit()
+        assert device.stats.write_time_s == before
+        assert journal.commits == 0
+
+
+class TestLogIo:
+    def test_commit_writes_batched_records_and_flushes(self):
+        journal, _, device = make_journal(commit_interval=100)
+        for _ in range(5):
+            journal.log_operation()
+        assert device.stats.write_bytes == 0  # buffered, like a log buffer
+        journal.commit()
+        assert device.stats.write_bytes == 5 * 4096
+        assert device.stats.requests >= 1
+
+    def test_charge_io_off(self):
+        journal, _, device = make_journal(charge_io=False)
+        for _ in range(10):
+            journal.log_operation()
+        journal.commit()
+        assert device.stats.write_bytes == 0
+
+    def test_log_wraps(self):
+        journal, _, device = make_journal(commit_interval=1)
+        # 1 MB log, 4 KB records: 256 records before wrap.
+        for _ in range(300):
+            journal.log_operation()
+        assert device.stats.write_bytes == 300 * 4096
+
+    def test_validation(self):
+        device = BlockDevice(scaled_disk(16 * MB))
+        index = FreeExtentIndex(16 * MB, initially_free=False)
+        with pytest.raises(ConfigError):
+            Journal(device, index, log_base=0, log_size=1 * MB,
+                    commit_interval_ops=0)
+        with pytest.raises(ConfigError):
+            Journal(device, index, log_base=0, log_size=100)

@@ -1,0 +1,118 @@
+"""Property-based tests for the free-extent index.
+
+Invariant under any operation sequence: the index plus the allocated
+set partitions the volume — no byte is lost, duplicated, or handed out
+twice — and the two internal views stay synchronized.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.alloc.extent import Extent
+from repro.alloc.freelist import FreeExtentIndex
+
+CAPACITY = 4096
+
+
+@st.composite
+def operation_lists(draw):
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["alloc_first", "alloc_best", "alloc_worst",
+                             "free_random"]),
+            st.integers(min_value=1, max_value=256),
+        ),
+        max_size=60,
+    ))
+
+
+@given(operation_lists())
+@settings(max_examples=120, deadline=None)
+def test_conservation_under_any_sequence(ops):
+    index = FreeExtentIndex(CAPACITY)
+    allocated: list[Extent] = []
+    for op, size in ops:
+        if op == "free_random":
+            if allocated:
+                index.add(allocated.pop(size % len(allocated)))
+        else:
+            query = {
+                "alloc_first": index.first_fit,
+                "alloc_best": index.best_fit,
+                "alloc_worst": index.worst_fit,
+            }[op]
+            run = query(size)
+            if run is None:
+                continue
+            taken, _ = run.take_front(size)
+            index.remove(taken)
+            allocated.append(taken)
+        index.check_invariants()
+    assert index.total_free + sum(e.length for e in allocated) == CAPACITY
+    # Allocated extents never overlap each other.
+    ordered = sorted(allocated, key=lambda e: e.start)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a.end <= b.start
+
+
+@given(st.lists(st.integers(min_value=0, max_value=CAPACITY - 1),
+                min_size=1, max_size=64, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_free_everything_coalesces_to_one_run(starts):
+    """Allocating arbitrary single bytes and freeing them all must end
+    with exactly one maximal free run."""
+    index = FreeExtentIndex(CAPACITY)
+    taken = []
+    for start in starts:
+        ext = Extent(start, 1)
+        index.remove(ext)
+        taken.append(ext)
+    for ext in taken:
+        index.add(ext)
+    assert list(index) == [Extent(0, CAPACITY)]
+
+
+class FreeListMachine(RuleBasedStateMachine):
+    """Stateful exploration of interleaved queries and mutations."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = FreeExtentIndex(CAPACITY)
+        self.allocated: list[Extent] = []
+
+    @rule(size=st.integers(min_value=1, max_value=512))
+    def alloc_first_fit(self, size):
+        run = self.index.first_fit(size)
+        if run is not None:
+            taken, _ = run.take_front(size)
+            self.index.remove(taken)
+            self.allocated.append(taken)
+
+    @rule(size=st.integers(min_value=1, max_value=512))
+    def alloc_best_fit(self, size):
+        run = self.index.best_fit(size)
+        if run is not None:
+            taken, _ = run.take_front(size)
+            self.index.remove(taken)
+            self.allocated.append(taken)
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def free_one(self, pick):
+        if self.allocated:
+            self.index.add(self.allocated.pop(pick % len(self.allocated)))
+
+    @invariant()
+    def views_consistent(self):
+        self.index.check_invariants()
+
+    @invariant()
+    def bytes_conserved(self):
+        total = self.index.total_free + \
+            sum(e.length for e in self.allocated)
+        assert total == CAPACITY
+
+
+TestFreeListMachine = FreeListMachine.TestCase
+TestFreeListMachine.settings = settings(max_examples=40, deadline=None,
+                                        stateful_step_count=40)

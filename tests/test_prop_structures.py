@@ -1,0 +1,169 @@
+"""Property-based tests: buddy allocator, GAM, and LOB tree invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.buddy import BuddyAllocator
+from repro.db.btree import LobTree
+from repro.db.gam import GamAllocator
+from repro.errors import AllocationError
+from repro.units import KB, MB, PAGES_PER_EXTENT
+
+
+# ----------------------------------------------------------------------
+# Buddy allocator
+# ----------------------------------------------------------------------
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"),
+                  st.integers(min_value=1, max_value=64 * KB)),
+        st.tuples(st.just("free"), st.integers(min_value=0)),
+    ),
+    max_size=80,
+))
+@settings(max_examples=100, deadline=None)
+def test_buddy_tiles_volume_always(ops):
+    buddy = BuddyAllocator(1 * MB, min_block=4 * KB)
+    live = []
+    for op, value in ops:
+        if op == "alloc":
+            try:
+                live.append(buddy.alloc(value))
+            except AllocationError:
+                pass
+        elif live:
+            buddy.free(live.pop(value % len(live)))
+    buddy.check_invariants()
+    assert buddy.total_free + sum(e.length for e in live) == 1 * MB
+
+
+@given(st.lists(st.integers(min_value=1, max_value=32 * KB),
+                min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_buddy_full_release_restores_everything(sizes):
+    buddy = BuddyAllocator(1 * MB, min_block=4 * KB)
+    live = []
+    for size in sizes:
+        try:
+            live.append(buddy.alloc(size))
+        except AllocationError:
+            break
+    for ext in live:
+        buddy.free(ext)
+    assert buddy.total_free == 1 * MB
+    assert buddy.alloc(1 * MB).length == 1 * MB
+
+
+# ----------------------------------------------------------------------
+# GAM allocator
+# ----------------------------------------------------------------------
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("pages"),
+                  st.integers(min_value=1, max_value=24)),
+        st.tuples(st.just("extent"), st.just(0)),
+        st.tuples(st.just("free"), st.integers(min_value=0)),
+    ),
+    max_size=100,
+))
+@settings(max_examples=100, deadline=None)
+def test_gam_page_accounting(ops):
+    gam = GamAllocator(32)
+    live: list[int] = []
+    for op, value in ops:
+        if op == "pages":
+            try:
+                live.extend(gam.alloc_pages(value))
+            except AllocationError:
+                pass
+        elif op == "extent":
+            extent_id = gam.alloc_uniform_extent()
+            if extent_id is not None:
+                base = extent_id * PAGES_PER_EXTENT
+                live.extend(range(base, base + PAGES_PER_EXTENT))
+        elif live:
+            gam.free_page(live.pop(value % len(live)))
+    gam.check_invariants()
+    assert gam.used_page_count == len(live)
+    assert len(set(live)) == len(live)  # no page handed out twice
+
+
+@given(st.integers(min_value=1, max_value=255))
+@settings(max_examples=40, deadline=None)
+def test_gam_alloc_free_is_identity(npages):
+    gam = GamAllocator(32)
+    pages = gam.alloc_pages(npages)
+    gam.free_pages(pages)
+    gam.check_invariants()
+    assert gam.free_page_count == 32 * PAGES_PER_EXTENT
+
+
+# ----------------------------------------------------------------------
+# LOB tree
+# ----------------------------------------------------------------------
+@st.composite
+def tree_operations(draw):
+    return draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"),
+                      st.integers(min_value=0, max_value=10**6),
+                      st.integers(min_value=1, max_value=8)),
+            st.tuples(st.just("delete"),
+                      st.integers(min_value=0, max_value=10**6),
+                      st.integers(min_value=1, max_value=8)),
+        ),
+        max_size=80,
+    ))
+
+
+@given(tree_operations(),
+       st.integers(min_value=4, max_value=16))
+@settings(max_examples=100, deadline=None)
+def test_lobtree_matches_list_model(ops, fanout):
+    tree = LobTree(fanout=fanout)
+    model: list[int] = []
+    next_page = 0
+    for op, position, count in ops:
+        if op == "insert":
+            pos = position % (len(model) + 1)
+            tree.insert_run(pos, next_page, count)
+            model[pos:pos] = range(next_page, next_page + count)
+            next_page += count + 5
+        elif model:
+            start = position % len(model)
+            take = min(count, len(model) - start)
+            removed = tree.delete_range(start, take)
+            flat = [
+                page
+                for run_start, run_count in removed
+                for page in range(run_start, run_start + run_count)
+            ]
+            assert flat == model[start:start + take]
+            del model[start:start + take]
+        tree.check_invariants()
+        assert tree.total_pages == len(model)
+    # Final full reconstruction agrees with the model.
+    pages = [
+        page
+        for run_start, run_count in tree.all_runs()
+        for page in range(run_start, run_start + run_count)
+    ]
+    assert pages == model
+    # And random-access lookups agree point-wise.
+    for idx in range(0, len(model), max(1, len(model) // 16)):
+        assert tree.page_at(idx) == model[idx]
+
+
+@given(st.lists(st.integers(min_value=1, max_value=12),
+                min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_lobtree_append_then_read_everything(counts):
+    tree = LobTree(fanout=4)
+    expected: list[int] = []
+    page = 0
+    for count in counts:
+        tree.append_run(page, count)
+        expected.extend(range(page, page + count))
+        page += count  # physically consecutive: must merge into 1 run
+    assert tree.all_runs() == [(0, len(expected))]
+    assert tree.total_pages == len(expected)

@@ -1,0 +1,152 @@
+"""Tests for BLOB range updates (Exodus) and interleaved append loads."""
+
+import pytest
+
+from repro.core.interleaved import interleaved_db_load, interleaved_fs_load
+from repro.db.database import DbConfig, SimDatabase
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import scaled_disk
+from repro.errors import ConfigError
+from repro.fs.filesystem import FsConfig, SimFilesystem
+from repro.units import KB, MB, PAGE_SIZE
+
+
+def make_db(store_data=False):
+    device = BlockDevice(scaled_disk(64 * MB), store_data=store_data)
+    return SimDatabase(device, config=DbConfig())
+
+
+class TestBlobInsertRange:
+    def test_insert_grows_size(self):
+        db = make_db()
+        blob_id = db.put_blob(size=64 * KB)
+        db.blobs.insert_range(blob_id, 8 * KB, size=16 * KB)
+        assert db.blobs.size_of(blob_id) == 80 * KB
+
+    def test_insert_at_end_is_append(self):
+        db = make_db()
+        blob_id = db.put_blob(size=64 * KB)
+        db.blobs.insert_range(blob_id, 64 * KB, size=64 * KB)
+        assert db.blobs.size_of(blob_id) == 128 * KB
+
+    def test_content_shifts_without_moving_pages(self):
+        db = make_db(store_data=True)
+        before = b"A" * (32 * KB) + b"B" * (32 * KB)
+        blob_id = db.put_blob(data=before)
+        old_tail_pages = db.blobs.tree_of(blob_id).runs_in_range(4, 4)
+        db.blobs.insert_range(blob_id, 32 * KB, data=b"X" * (8 * KB))
+        got = db.get_blob(blob_id)
+        assert got == b"A" * (32 * KB) + b"X" * (8 * KB) + b"B" * (32 * KB)
+        # The original tail pages are still the same physical pages,
+        # now one insert further along logically (the Exodus property).
+        new_tail_pages = db.blobs.tree_of(blob_id).runs_in_range(5, 4)
+        assert old_tail_pages == new_tail_pages
+
+    def test_alignment_enforced(self):
+        db = make_db()
+        blob_id = db.put_blob(size=64 * KB)
+        with pytest.raises(ConfigError):
+            db.blobs.insert_range(blob_id, 100, size=PAGE_SIZE)
+        with pytest.raises(ConfigError):
+            db.blobs.insert_range(blob_id, PAGE_SIZE, size=100)
+
+    def test_offset_bounds(self):
+        db = make_db()
+        blob_id = db.put_blob(size=64 * KB)
+        with pytest.raises(ConfigError):
+            db.blobs.insert_range(blob_id, 72 * KB, size=PAGE_SIZE)
+
+
+class TestBlobDeleteRange:
+    def test_delete_shrinks_and_shifts(self):
+        db = make_db(store_data=True)
+        payload = b"A" * (16 * KB) + b"B" * (16 * KB) + b"C" * (16 * KB)
+        blob_id = db.put_blob(data=payload)
+        db.blobs.delete_range(blob_id, 16 * KB, 16 * KB)
+        assert db.blobs.size_of(blob_id) == 32 * KB
+        assert db.get_blob(blob_id) == b"A" * (16 * KB) + b"C" * (16 * KB)
+
+    def test_removed_pages_ghost_then_free(self):
+        db = make_db()
+        free0 = db.gam.free_page_count
+        blob_id = db.put_blob(size=128 * KB)
+        db.blobs.delete_range(blob_id, 0, 64 * KB)
+        db.checkpoint()
+        used_now = free0 - db.gam.free_page_count
+        assert used_now <= (64 * KB) // PAGE_SIZE + 2  # data + node pages
+
+    def test_alignment_and_bounds(self):
+        db = make_db()
+        blob_id = db.put_blob(size=64 * KB)
+        with pytest.raises(ConfigError):
+            db.blobs.delete_range(blob_id, 1, PAGE_SIZE)
+        with pytest.raises(ConfigError):
+            db.blobs.delete_range(blob_id, 0, 128 * KB)
+
+    def test_round_trip_after_many_range_ops(self):
+        db = make_db(store_data=True)
+        import random
+
+        rng = random.Random(17)
+        model = bytearray(b"0" * (64 * KB))
+        blob_id = db.put_blob(data=bytes(model))
+        for step in range(20):
+            page_len = PAGE_SIZE
+            if rng.random() < 0.5 or len(model) <= page_len:
+                offset = rng.randrange(0, len(model) // page_len + 1) \
+                    * page_len
+                payload = bytes([65 + step % 26]) * page_len
+                db.blobs.insert_range(blob_id, offset, data=payload)
+                model[offset:offset] = payload
+            else:
+                offset = rng.randrange(0, len(model) // page_len) \
+                    * page_len
+                db.blobs.delete_range(blob_id, offset, page_len)
+                del model[offset: offset + page_len]
+        assert db.get_blob(blob_id) == bytes(model)
+        db.check_invariants()
+
+
+class TestInterleavedLoads:
+    def test_serial_fs_contiguous(self):
+        fs = SimFilesystem(BlockDevice(scaled_disk(256 * MB)))
+        result = interleaved_fs_load(fs, nstreams=1, object_size=1 * MB,
+                                     total_objects=20)
+        assert result.fragments_per_object == 1.0
+        assert result.objects == 20
+
+    def test_interleaving_fragments_fs(self):
+        fs = SimFilesystem(BlockDevice(scaled_disk(256 * MB)))
+        result = interleaved_fs_load(fs, nstreams=4, object_size=1 * MB,
+                                     total_objects=20)
+        assert result.fragments_per_object > 4.0
+
+    def test_delayed_allocation_immune(self):
+        fs = SimFilesystem(BlockDevice(scaled_disk(256 * MB)),
+                           FsConfig(delayed_allocation=True))
+        result = interleaved_fs_load(fs, nstreams=4, object_size=1 * MB,
+                                     total_objects=20)
+        assert result.fragments_per_object == 1.0
+
+    def test_interleaving_fragments_db(self):
+        db = SimDatabase(BlockDevice(scaled_disk(256 * MB)))
+        serial = interleaved_db_load(db, nstreams=1, object_size=1 * MB,
+                                     total_objects=10)
+        db2 = SimDatabase(BlockDevice(scaled_disk(256 * MB)))
+        inter = interleaved_db_load(db2, nstreams=4, object_size=1 * MB,
+                                    total_objects=10)
+        assert serial.fragments_per_object == 1.0
+        assert inter.fragments_per_object > 4.0
+
+    def test_object_sizes_exact(self):
+        fs = SimFilesystem(BlockDevice(scaled_disk(256 * MB)))
+        interleaved_fs_load(fs, nstreams=3, object_size=1 * MB + 1000,
+                            total_objects=7)
+        sizes = {fs.file_size(n) for n in fs.list_files()}
+        assert sizes == {1 * MB + 1000}
+
+    def test_validation(self):
+        fs = SimFilesystem(BlockDevice(scaled_disk(256 * MB)))
+        with pytest.raises(ConfigError):
+            interleaved_fs_load(fs, nstreams=0, object_size=1 * MB,
+                                total_objects=5)
