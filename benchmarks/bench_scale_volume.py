@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Volume-size scaling bench: filesystem churn cost vs volume size.
+
+Sweeps volume sizes, drives the filesystem backend through a bulk load
+plus a delete/rewrite churn loop (the workload shape behind the paper's
+aging experiments), and reports host-side wall-clock per churn
+operation together with the free-run count the volume settled at.  Run
+for both engines this shows the trajectory the tentpole targets: the
+naive flat-list engine's per-op cost grows with the free map while the
+tiered engine stays flat, which is what unlocks multi-hundred-GB
+volumes and deep aging runs.
+
+Results go to ``BENCH_scale_volume.json`` (schema in
+``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale_volume.py
+    PYTHONPATH=src python benchmarks/bench_scale_volume.py --quick
+    PYTHONPATH=src python benchmarks/bench_scale_volume.py \
+        --volumes 268435456,1073741824 --index tiered
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import scaled_disk
+from repro.fs.filesystem import FsConfig, SimFilesystem
+from repro.units import KB, MB
+
+DEFAULT_VOLUMES = (128 * MB, 512 * MB, 2048 * MB)
+QUICK_VOLUMES = (64 * MB,)
+#: Small files (64 KB in 16 KB requests) maximise allocator pressure per
+#: byte: every file is a fresh create/append/delete cycle.
+FILE_BYTES = 64 * KB
+REQUEST_BYTES = 16 * KB
+OCCUPANCY = 0.5
+CHURN_OPS = 400
+
+
+def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
+    device = BlockDevice(scaled_disk(volume))
+    fs = SimFilesystem(device, FsConfig(index_kind=kind))
+    rng = random.Random(seed)
+
+    def write_file(name: str) -> None:
+        fs.create(name)
+        remaining = FILE_BYTES
+        while remaining > 0:
+            request = min(REQUEST_BYTES, remaining)
+            fs.append(name, request)
+            remaining -= request
+
+    target = int(fs.data_capacity * OCCUPANCY)
+    names: list[str] = []
+    t0 = time.perf_counter()
+    while fs.used_bytes < target:
+        name = f"f{len(names)}"
+        write_file(name)
+        names.append(name)
+    build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for op in range(CHURN_OPS):
+        victim = rng.randrange(len(names))
+        fs.delete(names[victim])
+        names[victim] = f"f{len(names) + op}"
+        write_file(names[victim])
+    churn_s = time.perf_counter() - t0
+
+    fs.check_invariants()
+    return {
+        "index": kind,
+        "volume_bytes": volume,
+        "files": len(names),
+        "build_seconds": round(build_s, 4),
+        "churn_ops": CHURN_OPS,
+        "churn_us_per_op": round(churn_s / CHURN_OPS * 1e6, 2),
+        "free_runs": len(fs.free_index),
+        "modelled_device_s": round(device.clock_s, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single small volume (CI smoke)")
+    parser.add_argument("--volumes", type=str, default=None,
+                        help="comma-separated volume sizes in bytes")
+    parser.add_argument("--index", type=str, default="tiered,naive",
+                        help="comma-separated engines to measure")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent /
+                        "BENCH_scale_volume.json")
+    args = parser.parse_args(argv)
+
+    if args.volumes:
+        volumes = tuple(int(v) for v in args.volumes.split(","))
+    else:
+        volumes = QUICK_VOLUMES if args.quick else DEFAULT_VOLUMES
+    kinds = tuple(args.index.split(","))
+
+    rows = []
+    for volume in volumes:
+        for kind in kinds:
+            print(f"... {kind} @ {volume // MB} MB volume", flush=True)
+            rows.append(run_volume(kind, volume))
+
+    report = {
+        "schema": "bench-scale-volume/1",
+        "generated_by": "benchmarks/bench_scale_volume.py",
+        "python": platform.python_version(),
+        "config": {
+            "file_bytes": FILE_BYTES,
+            "request_bytes": REQUEST_BYTES,
+            "occupancy": OCCUPANCY,
+            "churn_ops": CHURN_OPS,
+        },
+        "results": rows,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\n{'volume':>10s} {'index':>7s} {'files':>7s} {'build s':>8s} "
+          f"{'churn us/op':>12s} {'free runs':>10s}")
+    for r in rows:
+        print(f"{r['volume_bytes'] // MB:>8d}MB {r['index']:>7s} "
+              f"{r['files']:>7d} {r['build_seconds']:>8.2f} "
+              f"{r['churn_us_per_op']:>12.1f} {r['free_runs']:>10d}")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,24 @@ def paper_scale() -> bool:
     return "--paper-scale" in sys.argv
 
 
+def index_kind() -> str | None:
+    """The ``--index {tiered,naive}`` allocator ablation flag.
+
+    Returns None (use each config's default, i.e. the tiered engine)
+    when the flag is absent — notably under pytest, where benches run
+    without CLI arguments.  Figure scripts re-run with ``--index naive``
+    to quantify how much of end-to-end throughput the free-space engine
+    contributes.
+    """
+    argv = sys.argv
+    for pos, arg in enumerate(argv):
+        if arg == "--index" and pos + 1 < len(argv):
+            return argv[pos + 1]
+        if arg.startswith("--index="):
+            return arg.split("=", 1)[1]
+    return None
+
+
 def scaled(volume: int) -> int:
     """Swap in the paper's full-size volume under --paper-scale."""
     if not paper_scale():
@@ -71,6 +89,7 @@ def run_curve(backend: str, sizes: SizeDistribution, *,
               label: str = "",
               **kwargs) -> RunResult:
     """Run one curve of one figure."""
+    kwargs.setdefault("index_kind", index_kind())
     config = ExperimentConfig(
         backend=backend,
         sizes=sizes,

@@ -12,12 +12,14 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Extent:
     """A contiguous byte range ``[start, start + length)``.
 
     Ordering is by ``(start, length)``, which sorts address-ordered lists
-    the way allocators need.
+    the way allocators need.  Slotted: extents are minted on every
+    allocation, split, and coalesce, so they carry no per-instance
+    ``__dict__``.
     """
 
     start: int

@@ -1,17 +1,39 @@
-"""Exact free-space index with coalescing.
+"""Tiered O(log n) free-space index with coalescing.
 
 :class:`FreeExtentIndex` is the "bitmap" of the simulation: the single
-source of truth about which byte ranges of a volume are free.  It keeps
-two synchronized views —
+source of truth about which byte ranges of a volume are free.  Every
+experiment — bulk load, safe-write churn, fragmentation aging — funnels
+through it, so it is engineered as a tiered engine rather than the flat
+sorted lists of the original implementation (preserved as
+:class:`~repro.alloc.naive.NaiveFreeExtentIndex` for parity tests and
+the ``--index naive`` ablation):
 
-* an address-ordered view (sorted starts) for first-fit / next-fit /
-  neighbour coalescing / extension queries, and
-* a size-ordered view (sorted ``(length, start)`` pairs) for best-fit /
-  worst-fit / largest-run queries,
+* **Address tier** — a two-level B-tree: a block directory (sorted block
+  minima) over blocks of at most ``2 * _LOAD`` sorted run starts.
+  Insert/delete/predecessor cost O(log n) directory search plus an
+  O(_LOAD) in-block ``memmove``, instead of the flat list's O(n).  Each
+  directory entry is augmented with the **max run length** in its block,
+  so ``first_fit``/``next_fit`` (including the ``min_start``/
+  ``max_start`` banded queries) skip whole blocks that cannot satisfy a
+  request instead of scanning run by run.
+* **Size tier** — power-of-two buckets (bucket *b* holds runs whose
+  length has ``bit_length() == b``), each a small sorted list of
+  ``(length, start)`` pairs.  ``best_fit`` bisects one bucket and falls
+  through to the next non-empty one; ``worst_fit``/``largest`` read the
+  tail of the highest non-empty bucket; ``runs_by_size_desc`` streams
+  buckets top-down — all without maintaining one global O(n) sorted
+  list.
+* **Incremental accounting** — :attr:`total_free`, the run count, and
+  the largest run are maintained under mutation, so reading them is
+  O(1) (the largest-run probe scans at most ``capacity.bit_length()``
+  bucket heads, a constant for any fixed volume).
 
-and raises :class:`~repro.errors.CorruptionError` on double frees or
-overlapping inserts rather than repairing them, because an overlap means
-the caller's accounting diverged.
+The public API and error semantics are identical to the naive engine:
+:class:`~repro.errors.CorruptionError` on double frees or overlapping
+inserts rather than repairing them, because an overlap means the
+caller's accounting diverged.  ``tests/test_prop_freelist.py`` holds
+the two engines to placement-identical answers under random operation
+sequences.
 """
 
 from __future__ import annotations
@@ -20,7 +42,128 @@ import bisect
 from collections.abc import Iterator
 
 from repro.alloc.extent import Extent
-from repro.errors import CorruptionError
+from repro.alloc.naive import NaiveFreeExtentIndex
+from repro.errors import ConfigError, CorruptionError
+
+#: Target block size of the address tier.  Blocks split when they reach
+#: twice this.  The value trades the O(_LOAD) in-block memmove per
+#: mutation against the O(n / _LOAD) block-directory scan of a failed
+#: first-fit sweep; ~256 is near the optimum across 10^3..10^6 runs.
+_LOAD = 256
+
+#: Engine names accepted by :func:`make_free_index` (and therefore by
+#: ``FsConfig.index_kind`` / the benches' ``--index`` flag).
+INDEX_KINDS = ("tiered", "naive")
+
+
+class _BlockedPairs:
+    """Two-level sorted set of ``(length, start)`` pairs.
+
+    The size tier's per-bucket structure.  A skewed workload can land
+    most free runs in one power-of-two bucket (e.g. every run the same
+    length), so buckets use the same blocked layout as the address
+    tier: a directory of block minima over blocks of at most
+    ``2 * _LOAD`` pairs, bounding every mutation's memmove to O(_LOAD)
+    instead of O(bucket).
+    """
+
+    __slots__ = ("_blocks", "_mins", "_n")
+
+    def __init__(self) -> None:
+        self._blocks: list[list[tuple[int, int]]] = []
+        self._mins: list[tuple[int, int]] = []
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def insert(self, pair: tuple[int, int]) -> None:
+        blocks = self._blocks
+        mins = self._mins
+        self._n += 1
+        if not blocks:
+            blocks.append([pair])
+            mins.append(pair)
+            return
+        bi = bisect.bisect_right(mins, pair) - 1
+        if bi < 0:
+            bi = 0
+        block = blocks[bi]
+        bisect.insort(block, pair)
+        if block[0] != mins[bi]:
+            mins[bi] = block[0]
+        if len(block) >= 2 * _LOAD:
+            half = len(block) // 2
+            right = block[half:]
+            del block[half:]
+            blocks.insert(bi + 1, right)
+            mins.insert(bi + 1, right[0])
+
+    def remove(self, pair: tuple[int, int]) -> bool:
+        """Drop ``pair``; False when it was not present."""
+        mins = self._mins
+        bi = bisect.bisect_right(mins, pair) - 1
+        if bi < 0:
+            return False
+        block = self._blocks[bi]
+        pos = bisect.bisect_left(block, pair)
+        if pos >= len(block) or block[pos] != pair:
+            return False
+        del block[pos]
+        self._n -= 1
+        if not block:
+            del self._blocks[bi]
+            del mins[bi]
+        elif pos == 0:
+            mins[bi] = block[0]
+        return True
+
+    def first(self) -> tuple[int, int]:
+        return self._blocks[0][0]
+
+    def last(self) -> tuple[int, int]:
+        return self._blocks[-1][-1]
+
+    def first_ge(self, key: tuple[int, int]) -> tuple[int, int] | None:
+        """Smallest pair ``>= key``, or None."""
+        blocks = self._blocks
+        if not blocks:
+            return None
+        mins = self._mins
+        bi = bisect.bisect_right(mins, key) - 1
+        if bi < 0:
+            return blocks[0][0]
+        block = blocks[bi]
+        pos = bisect.bisect_left(block, key)
+        if pos < len(block):
+            return block[pos]
+        if bi + 1 < len(blocks):
+            return blocks[bi + 1][0]
+        return None
+
+    def __iter__(self):
+        for block in self._blocks:
+            yield from block
+
+    def iter_desc(self):
+        for block in reversed(self._blocks):
+            yield from reversed(block)
+
+    def check(self, label: str) -> None:
+        """Raise :class:`CorruptionError` on internal inconsistency."""
+        if len(self._blocks) != len(self._mins):
+            raise CorruptionError(f"{label}: directory sizes disagree")
+        flat: list[tuple[int, int]] = []
+        for bi, block in enumerate(self._blocks):
+            if not block:
+                raise CorruptionError(f"{label}: empty block")
+            if self._mins[bi] != block[0]:
+                raise CorruptionError(f"{label}: stale block minimum")
+            flat.extend(block)
+        if flat != sorted(flat):
+            raise CorruptionError(f"{label}: pairs are unsorted")
+        if len(flat) != self._n:
+            raise CorruptionError(f"{label}: count drifted")
 
 
 class FreeExtentIndex:
@@ -38,87 +181,289 @@ class FreeExtentIndex:
         if capacity <= 0:
             raise CorruptionError("capacity must be positive")
         self.capacity = capacity
-        self._starts: list[int] = []
+        #: run start -> run length (the O(1) length authority).
         self._len_by_start: dict[int, int] = {}
-        self._by_size: list[tuple[int, int]] = []  # (length, start)
+        # Address tier: blocks of sorted starts plus a parallel block
+        # directory of (minimum start, max run length, #runs attaining
+        # that max).  The count lets a delete decrement instead of
+        # rescanning the block when several runs tie for longest.
+        self._ablocks: list[list[int]] = []
+        self._amins: list[int] = []
+        self._amax: list[int] = []
+        self._amaxn: list[int] = []
+        # Size tier: bucket b holds (length, start) pairs, sorted, for
+        # runs with length.bit_length() == b.
+        self._buckets: list[_BlockedPairs] = [
+            _BlockedPairs() for _ in range(capacity.bit_length() + 1)
+        ]
+        #: High-watermark bucket hint: no bucket above it is non-empty.
+        #: Raised eagerly on insert, lowered lazily by :meth:`largest`.
+        self._btop = 0
+        self._total_free = 0
         if initially_free:
-            self._insert(Extent(0, capacity))
+            self._insert(0, capacity)
 
     # ------------------------------------------------------------------
-    # Internal bookkeeping (both views updated together)
+    # Address tier
     # ------------------------------------------------------------------
-    def _insert(self, ext: Extent) -> None:
-        idx = bisect.bisect_left(self._starts, ext.start)
-        self._starts.insert(idx, ext.start)
-        self._len_by_start[ext.start] = ext.length
-        bisect.insort(self._by_size, (ext.length, ext.start))
+    def _block_max(self, block: list[int]) -> tuple[int, int]:
+        """(max run length, #runs attaining it) for one block — O(block)."""
+        lens = self._len_by_start
+        mx = 0
+        cnt = 0
+        for s in block:
+            length = lens[s]
+            if length > mx:
+                mx, cnt = length, 1
+            elif length == mx:
+                cnt += 1
+        return mx, cnt
 
-    def _delete(self, start: int) -> Extent:
-        length = self._len_by_start.pop(start)
-        idx = bisect.bisect_left(self._starts, start)
-        if idx >= len(self._starts) or self._starts[idx] != start:
+    def _a_insert(self, start: int, length: int) -> None:
+        mins = self._amins
+        blocks = self._ablocks
+        if not blocks:
+            blocks.append([start])
+            mins.append(start)
+            self._amax.append(length)
+            self._amaxn.append(1)
+            return
+        bi = bisect.bisect_right(mins, start) - 1
+        if bi < 0:
+            bi = 0
+        block = blocks[bi]
+        pos = bisect.bisect_left(block, start)
+        block.insert(pos, start)
+        if pos == 0:
+            mins[bi] = start
+        amax = self._amax
+        if length > amax[bi]:
+            amax[bi] = length
+            self._amaxn[bi] = 1
+        elif length == amax[bi]:
+            self._amaxn[bi] += 1
+        if len(block) >= 2 * _LOAD:
+            self._a_split(bi)
+
+    def _a_split(self, bi: int) -> None:
+        block = self._ablocks[bi]
+        half = len(block) // 2
+        right = block[half:]
+        del block[half:]
+        self._ablocks.insert(bi + 1, right)
+        self._amins.insert(bi + 1, right[0])
+        self._amax[bi], self._amaxn[bi] = self._block_max(block)
+        rmax, rcnt = self._block_max(right)
+        self._amax.insert(bi + 1, rmax)
+        self._amaxn.insert(bi + 1, rcnt)
+
+    def _a_delete(self, start: int, length: int) -> None:
+        mins = self._amins
+        bi = bisect.bisect_right(mins, start) - 1
+        if bi < 0:
             raise CorruptionError(f"free index views out of sync at {start}")
-        del self._starts[idx]
-        sidx = bisect.bisect_left(self._by_size, (length, start))
-        if sidx >= len(self._by_size) or self._by_size[sidx] != (length, start):
+        block = self._ablocks[bi]
+        pos = bisect.bisect_left(block, start)
+        if pos >= len(block) or block[pos] != start:
+            raise CorruptionError(f"free index views out of sync at {start}")
+        del block[pos]
+        if not block:
+            del self._ablocks[bi]
+            del mins[bi]
+            del self._amax[bi]
+            del self._amaxn[bi]
+            return
+        if pos == 0:
+            mins[bi] = block[0]
+        if length == self._amax[bi]:
+            self._amaxn[bi] -= 1
+            if self._amaxn[bi] == 0:
+                self._amax[bi], self._amaxn[bi] = self._block_max(block)
+
+    def _a_update(self, old_start: int, old_len: int,
+                  new_start: int, new_len: int) -> None:
+        """Rewrite one run's directory entry in place (no memmove).
+
+        The caller guarantees the replacement preserves address order
+        (carves and merges only move a boundary between two existing
+        neighbours) and has already updated ``_len_by_start``.
+        """
+        mins = self._amins
+        bi = bisect.bisect_right(mins, old_start) - 1
+        if bi < 0:
+            raise CorruptionError(
+                f"free index views out of sync at {old_start}"
+            )
+        block = self._ablocks[bi]
+        pos = bisect.bisect_left(block, old_start)
+        if pos >= len(block) or block[pos] != old_start:
+            raise CorruptionError(
+                f"free index views out of sync at {old_start}"
+            )
+        block[pos] = new_start
+        if pos == 0:
+            mins[bi] = new_start
+        amax = self._amax[bi]
+        if new_len > amax:
+            self._amax[bi] = new_len
+            self._amaxn[bi] = 1
+        else:
+            if new_len == amax:
+                self._amaxn[bi] += 1
+            if old_len == amax:
+                self._amaxn[bi] -= 1
+                if self._amaxn[bi] == 0:
+                    self._amax[bi], self._amaxn[bi] = self._block_max(block)
+
+    def _pred_le(self, offset: int) -> int | None:
+        """Largest run start ``<= offset``, or None."""
+        bi = bisect.bisect_right(self._amins, offset) - 1
+        if bi < 0:
+            return None
+        block = self._ablocks[bi]
+        pos = bisect.bisect_right(block, offset) - 1
+        return block[pos] if pos >= 0 else None
+
+    def _pred_lt(self, offset: int) -> int | None:
+        """Largest run start ``< offset``, or None."""
+        bi = bisect.bisect_left(self._amins, offset) - 1
+        if bi < 0:
+            return None
+        block = self._ablocks[bi]
+        pos = bisect.bisect_left(block, offset) - 1
+        return block[pos] if pos >= 0 else None
+
+    def _succ_gt(self, offset: int) -> int | None:
+        """Smallest run start ``> offset``, or None."""
+        blocks = self._ablocks
+        if not blocks:
+            return None
+        bi = bisect.bisect_right(self._amins, offset) - 1
+        if bi < 0:
+            return blocks[0][0]
+        block = blocks[bi]
+        pos = bisect.bisect_right(block, offset)
+        if pos < len(block):
+            return block[pos]
+        if bi + 1 < len(blocks):
+            return blocks[bi + 1][0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Size tier
+    # ------------------------------------------------------------------
+    def _b_insert(self, start: int, length: int) -> None:
+        b = length.bit_length()
+        if b > self._btop:
+            self._btop = b
+        self._buckets[b].insert((length, start))
+
+    def _b_delete(self, start: int, length: int) -> None:
+        if not self._buckets[length.bit_length()].remove((length, start)):
             raise CorruptionError(f"size view out of sync at {start}")
-        del self._by_size[sidx]
-        return Extent(start, length)
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping (all tiers updated together)
+    # ------------------------------------------------------------------
+    def _insert(self, start: int, length: int) -> None:
+        self._len_by_start[start] = length
+        self._a_insert(start, length)
+        self._b_insert(start, length)
+        self._total_free += length
+
+    def _delete(self, start: int) -> int:
+        length = self._len_by_start.pop(start)
+        self._a_delete(start, length)
+        self._b_delete(start, length)
+        self._total_free -= length
+        return length
+
+    def _resize(self, old_start: int, new_start: int, new_len: int) -> None:
+        """Move one run's boundary in place (carve/merge fast path)."""
+        lens = self._len_by_start
+        old_len = lens.pop(old_start)
+        lens[new_start] = new_len
+        self._a_update(old_start, old_len, new_start, new_len)
+        self._b_delete(old_start, old_len)
+        self._b_insert(new_start, new_len)
+        self._total_free += new_len - old_len
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, ext: Extent) -> None:
-        """Return ``ext`` to the free pool, merging with free neighbours."""
-        if ext.end > self.capacity:
+        """Return ``ext`` to the free pool, merging with free neighbours.
+
+        Merges are in-place boundary moves: absorbing ``ext`` into a
+        neighbour rewrites that neighbour's directory entry instead of
+        deleting and reinserting it.
+        """
+        start, end = ext.start, ext.end
+        if end > self.capacity:
             raise CorruptionError(f"{ext} extends past capacity {self.capacity}")
-        idx = bisect.bisect_right(self._starts, ext.start)
-        # Check overlap with predecessor and successor.
-        if idx > 0:
-            prev_start = self._starts[idx - 1]
-            prev_end = prev_start + self._len_by_start[prev_start]
-            if prev_end > ext.start:
-                raise CorruptionError(
-                    f"double free: {ext} overlaps free run at {prev_start}"
-                )
-        if idx < len(self._starts) and self._starts[idx] < ext.end:
+        lens = self._len_by_start
+        pred = self._pred_le(start)
+        if pred is not None and pred + lens[pred] > start:
             raise CorruptionError(
-                f"double free: {ext} overlaps free run at {self._starts[idx]}"
+                f"double free: {ext} overlaps free run at {pred}"
             )
-        merged = ext
-        if idx > 0:
-            prev_start = self._starts[idx - 1]
-            if prev_start + self._len_by_start[prev_start] == ext.start:
-                merged = self._delete(prev_start).merge(merged)
-        idx = bisect.bisect_right(self._starts, merged.start)
-        if idx < len(self._starts) and self._starts[idx] == merged.end:
-            merged = merged.merge(self._delete(self._starts[idx]))
-        self._insert(merged)
+        succ = self._succ_gt(start)
+        if succ is not None and succ < end:
+            raise CorruptionError(
+                f"double free: {ext} overlaps free run at {succ}"
+            )
+        merge_left = pred is not None and pred + lens[pred] == start
+        succ_len = lens.get(end)
+        if merge_left and succ_len is not None:
+            # Bridge: pred absorbs ext and the successor run.
+            self._delete(end)
+            self._resize(pred, pred, end + succ_len - pred)
+        elif merge_left:
+            self._resize(pred, pred, end - pred)
+        elif succ_len is not None:
+            # Successor's start slides left over ext.
+            self._resize(end, start, end + succ_len - start)
+        else:
+            self._insert(start, end - start)
 
     def remove(self, ext: Extent) -> None:
-        """Allocate the exact range ``ext``, which must be entirely free."""
-        idx = bisect.bisect_right(self._starts, ext.start) - 1
-        if idx < 0:
+        """Allocate the exact range ``ext``, which must be entirely free.
+
+        Front and tail carves (every policy allocation carves a run's
+        front) are in-place boundary moves; only a mid-run carve pays a
+        delete plus two inserts.
+        """
+        estart, eend = ext.start, ext.end
+        lens = self._len_by_start
+        rstart = self._pred_le(estart)
+        if rstart is None:
             raise CorruptionError(f"{ext} is not free")
-        start = self._starts[idx]
-        run = Extent(start, self._len_by_start[start])
-        if not run.contains_extent(ext):
-            raise CorruptionError(f"{ext} is not inside free run {run}")
-        self._delete(start)
-        if run.start < ext.start:
-            self._insert(Extent(run.start, ext.start - run.start))
-        if ext.end < run.end:
-            self._insert(Extent(ext.end, run.end - ext.end))
+        rlen = lens[rstart]
+        rend = rstart + rlen
+        if estart < rstart or eend > rend:
+            raise CorruptionError(
+                f"{ext} is not inside free run {Extent(rstart, rlen)}"
+            )
+        if rstart < estart:
+            if eend < rend:
+                self._delete(rstart)
+                self._insert(rstart, estart - rstart)
+                self._insert(eend, rend - eend)
+            else:
+                self._resize(rstart, rstart, estart - rstart)
+        elif eend < rend:
+            self._resize(rstart, eend, rend - eend)
+        else:
+            self._delete(rstart)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def run_at(self, offset: int) -> Extent | None:
         """The free run containing ``offset``, or None when allocated."""
-        idx = bisect.bisect_right(self._starts, offset) - 1
-        if idx < 0:
+        start = self._pred_le(offset)
+        if start is None:
             return None
-        start = self._starts[idx]
         run = Extent(start, self._len_by_start[start])
         return run if run.contains(offset) else None
 
@@ -132,31 +477,60 @@ class FreeExtentIndex:
         """Lowest-address free run of at least ``size`` bytes.
 
         ``min_start``/``max_start`` bound the run's *start* offset, which
-        is how the banded (outer-band-first) search is expressed.
+        is how the banded (outer-band-first) search is expressed.  A run
+        straddling ``min_start`` qualifies when its tail past
+        ``min_start`` still fits the request.  The search descends the
+        block directory using the per-block max-run-length augmentation,
+        so blocks with no fitting run are skipped without touching them.
         """
-        idx = bisect.bisect_left(self._starts, min_start)
-        if idx > 0:
-            prev = self._starts[idx - 1]
-            if prev + self._len_by_start[prev] > min_start:
-                usable = prev + self._len_by_start[prev] - min_start
-                if usable >= size:
-                    return Extent(prev, self._len_by_start[prev])
-        while idx < len(self._starts):
-            start = self._starts[idx]
-            if max_start is not None and start > max_start:
+        lens = self._len_by_start
+        pred = self._pred_lt(min_start)
+        if pred is not None:
+            pred_end = pred + lens[pred]
+            if pred_end > min_start and pred_end - min_start >= size:
+                return Extent(pred, lens[pred])
+        mins = self._amins
+        blocks = self._ablocks
+        amax = self._amax
+        nb = len(blocks)
+        bi = bisect.bisect_right(mins, min_start) - 1
+        if bi < 0:
+            bi, pos = 0, 0
+        else:
+            pos = bisect.bisect_left(blocks[bi], min_start)
+            if pos >= len(blocks[bi]):
+                bi, pos = bi + 1, 0
+        for b in range(bi, nb):
+            block = blocks[b]
+            lo = pos if b == bi else 0
+            if max_start is not None and block[lo] > max_start:
                 return None
-            if self._len_by_start[start] >= size:
-                return Extent(start, self._len_by_start[start])
-            idx += 1
+            if amax[b] < size:
+                continue
+            for i in range(lo, len(block)):
+                s = block[i]
+                if max_start is not None and s > max_start:
+                    return None
+                length = lens[s]
+                if length >= size:
+                    return Extent(s, length)
         return None
 
     def best_fit(self, size: int) -> Extent | None:
         """Smallest free run of at least ``size`` bytes (lowest address ties)."""
-        idx = bisect.bisect_left(self._by_size, (size, -1))
-        if idx >= len(self._by_size):
+        buckets = self._buckets
+        b0 = size.bit_length()
+        if b0 >= len(buckets):
             return None
-        length, start = self._by_size[idx]
-        return Extent(start, length)
+        pair = buckets[b0].first_ge((size, -1))
+        if pair is not None:
+            return Extent(pair[1], pair[0])
+        for b in range(b0 + 1, len(buckets)):
+            bucket = buckets[b]
+            if bucket:
+                length, start = bucket.first()
+                return Extent(start, length)
+        return None
 
     def worst_fit(self, size: int) -> Extent | None:
         """Largest free run, provided it holds at least ``size`` bytes."""
@@ -174,41 +548,65 @@ class FreeExtentIndex:
 
     def largest(self) -> Extent | None:
         """The largest free run (highest address ties)."""
-        if not self._by_size:
+        buckets = self._buckets
+        b = self._btop
+        while b >= 0 and not buckets[b]:
+            b -= 1
+        if b < 0:
+            self._btop = 0
             return None
-        length, start = self._by_size[-1]
+        self._btop = b
+        length, start = buckets[b].last()
         return Extent(start, length)
 
     def runs_by_size_desc(self) -> Iterator[Extent]:
         """Free runs from largest to smallest (NTFS run-cache order)."""
-        for length, start in reversed(self._by_size):
-            yield Extent(start, length)
+        for bucket in reversed(self._buckets):
+            for length, start in bucket.iter_desc():
+                yield Extent(start, length)
 
     def __iter__(self) -> Iterator[Extent]:
         """Free runs in address order."""
-        for start in self._starts:
-            yield Extent(start, self._len_by_start[start])
+        lens = self._len_by_start
+        for block in self._ablocks:
+            for start in block:
+                yield Extent(start, lens[start])
 
     def __len__(self) -> int:
-        return len(self._starts)
+        return len(self._len_by_start)
 
     @property
     def total_free(self) -> int:
-        return sum(self._len_by_start.values())
+        """Free bytes, maintained incrementally — an O(1) attribute read."""
+        return self._total_free
 
     def check_invariants(self) -> None:
-        """Verify the two views agree and runs are disjoint and coalesced.
+        """Verify all tiers agree and runs are disjoint and coalesced.
 
         Used by property tests; O(n log n).
         """
-        if len(self._starts) != len(self._len_by_start) or \
-                len(self._starts) != len(self._by_size):
+        lens = self._len_by_start
+        if not (len(self._ablocks) == len(self._amins) == len(self._amax)
+                == len(self._amaxn)):
+            raise CorruptionError("block directory sizes disagree")
+        starts = [s for block in self._ablocks for s in block]
+        if len(starts) != len(lens):
             raise CorruptionError("view sizes disagree")
-        if self._starts != sorted(self._starts):
+        if starts != sorted(starts):
             raise CorruptionError("address view is unsorted")
+        for bi, block in enumerate(self._ablocks):
+            if not block:
+                raise CorruptionError("empty address block")
+            if self._amins[bi] != block[0]:
+                raise CorruptionError(f"stale block minimum at block {bi}")
+            if (self._amax[bi], self._amaxn[bi]) != self._block_max(block):
+                raise CorruptionError(f"stale block max-run at block {bi}")
         prev_end: int | None = None
-        for start in self._starts:
-            length = self._len_by_start[start]
+        total = 0
+        for start in starts:
+            length = lens.get(start)
+            if length is None:
+                raise CorruptionError(f"address view has unknown run {start}")
             if length <= 0:
                 raise CorruptionError(f"non-positive run at {start}")
             if prev_end is not None and start <= prev_end:
@@ -217,8 +615,41 @@ class FreeExtentIndex:
             if start + length > self.capacity:
                 raise CorruptionError("run extends past capacity")
             prev_end = start + length
-        expected = sorted(
-            (length, start) for start, length in self._len_by_start.items()
-        )
-        if expected != self._by_size:
+            total += length
+        if total != self._total_free:
+            raise CorruptionError(
+                f"total_free accounting drifted: {self._total_free} != {total}"
+            )
+        by_size: list[tuple[int, int]] = []
+        for b, bucket in enumerate(self._buckets):
+            bucket.check(f"size bucket {b}")
+            for length, start in bucket:
+                if length.bit_length() != b:
+                    raise CorruptionError(
+                        f"run ({length}, {start}) filed in bucket {b}"
+                    )
+                by_size.append((length, start))
+        expected = sorted((length, start) for start, length in lens.items())
+        if by_size != expected:
             raise CorruptionError("size view disagrees with address view")
+        for b in range(self._btop + 1, len(self._buckets)):
+            if self._buckets[b]:
+                raise CorruptionError(f"bucket {b} above the top-bucket hint")
+
+
+def make_free_index(capacity: int, *, kind: str = "tiered",
+                    initially_free: bool = True,
+                    ) -> FreeExtentIndex | NaiveFreeExtentIndex:
+    """Instantiate a free-space engine by name.
+
+    ``tiered`` is the production engine; ``naive`` is the flat-list
+    reference model, exposed so benches and figure scripts can ablate
+    the allocator's contribution (``--index naive``).
+    """
+    if kind == "tiered":
+        return FreeExtentIndex(capacity, initially_free=initially_free)
+    if kind == "naive":
+        return NaiveFreeExtentIndex(capacity, initially_free=initially_free)
+    raise ConfigError(
+        f"unknown free-index kind {kind!r}; choose from {INDEX_KINDS}"
+    )

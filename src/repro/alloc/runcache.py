@@ -27,6 +27,8 @@ Figure 2.
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.alloc.extent import Extent
 from repro.alloc.freelist import FreeExtentIndex
 from repro.errors import AllocationError, ConfigError
@@ -60,36 +62,38 @@ class NtfsRunCache:
         self.cache_size = cache_size
 
     # ------------------------------------------------------------------
-    def _cached_runs(self) -> list[Extent]:
-        """The ``cache_size`` largest free runs, size-descending."""
-        runs: list[Extent] = []
-        for run in self.index.runs_by_size_desc():
-            runs.append(run)
-            if len(runs) >= self.cache_size:
-                break
-        return runs
-
     def choose(self, size: int) -> Extent | None:
         """Pick the run a contiguous ``size``-byte request carves from.
 
         Returns None when no cached run fits (the caller then fragments).
         Does not mutate the index.  Selection order per the paper's
         description: outer-band runs first (lowest offset), then the
-        largest cached run (ties to the lower offset).
+        largest cached run (ties to the lower offset).  One pass over
+        the cached view — this sits on the aging hot path, once per
+        allocation.
         """
         if size <= 0:
             raise ConfigError("allocation size must be positive")
-        runs = self._cached_runs()
-        band_candidates = [
-            run for run in runs
-            if run.start < self.outer_band_limit and run.length >= size
-        ]
-        if band_candidates:
-            return min(band_candidates, key=lambda r: r.start)
-        fitting = [run for run in runs if run.length >= size]
-        if fitting:
-            return max(fitting, key=lambda r: (r.length, -r.start))
-        return None
+        band_limit = self.outer_band_limit
+        best_band: Extent | None = None
+        best_large: Extent | None = None
+        for run in islice(self.index.runs_by_size_desc(), self.cache_size):
+            if run.length < size:
+                # The cache is size-descending: nothing later fits.
+                break
+            if run.start < band_limit and \
+                    (best_band is None or run.start < best_band.start):
+                best_band = run
+            # best_large only matters while no band candidate exists.
+            # The cache arrives size-descending with ties on descending
+            # start, so later runs of equal length have *lower* starts
+            # and can still displace the incumbent.
+            if best_band is None and (
+                    best_large is None or
+                    (run.length, -run.start) >
+                    (best_large.length, -best_large.start)):
+                best_large = run
+        return best_band if best_band is not None else best_large
 
     def allocate(self, size: int) -> list[Extent]:
         """Allocate ``size`` bytes, fragmenting only when no run fits.
@@ -111,13 +115,14 @@ class NtfsRunCache:
                 self.index.remove(taken)
                 pieces.append(taken)
                 break
-            # Fragment: consume the largest visible run and retry.
-            runs = self._cached_runs()
-            if not runs:
+            # Fragment: consume the largest visible run and retry.  The
+            # cache is size-descending, so its head is the index's
+            # largest run.
+            largest = self.index.largest()
+            if largest is None:
                 for piece in pieces:
                     self.index.add(piece)
                 raise AllocationError("no free runs while space remains")
-            largest = runs[0]
             self.index.remove(largest)
             pieces.append(largest)
             remaining -= largest.length

@@ -15,7 +15,9 @@ to single-digit GB so a run takes seconds, not a week.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+from repro.alloc.freelist import INDEX_KINDS
 
 from repro.backends.base import ObjectStore
 from repro.backends.blob_backend import BlobBackend
@@ -60,6 +62,9 @@ class ExperimentConfig:
     store_data: bool = False
     #: Use the size-hint interface (filesystem backend only).
     size_hints: bool = False
+    #: Free-space engine ablation: "tiered"/"naive" overrides the
+    #: filesystem backend's index; None keeps the fs_config default.
+    index_kind: str | None = None
     fs_config: FsConfig | None = None
     db_config: DbConfig | None = None
     label: str = ""
@@ -71,6 +76,11 @@ class ExperimentConfig:
             )
         if not self.ages or list(self.ages) != sorted(self.ages):
             raise ConfigError("ages must be a non-empty ascending sequence")
+        if self.index_kind is not None and self.index_kind not in INDEX_KINDS:
+            raise ConfigError(
+                f"unknown index_kind {self.index_kind!r}; "
+                f"choose from {INDEX_KINDS}"
+            )
 
     def display_label(self) -> str:
         if self.label:
@@ -89,7 +99,20 @@ class ExperimentConfig:
             "reads_per_sample": self.reads_per_sample,
             "seed": self.seed,
             "size_hints": self.size_hints,
+            "index_kind": self.effective_index_kind(),
         }
+
+    def effective_index_kind(self) -> str | None:
+        """The engine the filesystem backend will actually run.
+
+        None for backends that do not use the free-extent index at all,
+        so recorded run configs never misattribute an ablation.
+        """
+        if self.backend != "filesystem":
+            return None
+        if self.index_kind is not None:
+            return self.index_kind
+        return (self.fs_config or FsConfig()).index_kind
 
 
 def make_store(config: ExperimentConfig) -> ObjectStore:
@@ -97,9 +120,13 @@ def make_store(config: ExperimentConfig) -> ObjectStore:
     device = BlockDevice(scaled_disk(config.volume_bytes),
                          store_data=config.store_data)
     if config.backend == "filesystem":
+        fs_config = config.fs_config
+        if config.index_kind is not None:
+            fs_config = replace(fs_config or FsConfig(),
+                                index_kind=config.index_kind)
         return FileBackend(
             device,
-            fs_config=config.fs_config,
+            fs_config=fs_config,
             write_request=config.write_request,
             size_hints=config.size_hints,
         )

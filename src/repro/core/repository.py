@@ -108,7 +108,10 @@ class LargeObjectRepository:
         size = self.store.meta(key).size
         self.store.delete(key)
         self.tracker.on_delete(size)
-        self._versions.pop(key, None)
+        # The version counter deliberately survives deletion: a
+        # recreated key keeps its object id, so its markers must
+        # outrank the deleted copy's stale on-disk markers (same id)
+        # for the scanner's newest-version filter to discard them.
 
     def exists(self, key: str) -> bool:
         return self.store.exists(key)

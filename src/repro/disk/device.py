@@ -96,7 +96,7 @@ class _SegmentStore:
         return bytes(out)
 
 
-@dataclass
+@dataclass(slots=True)
 class _RequestCost:
     seeks: int
     service_s: float
@@ -132,21 +132,30 @@ class BlockDevice:
     # Service-time model
     # ------------------------------------------------------------------
     def _cost_of(self, extents: list[Extent]) -> _RequestCost:
+        # Hot path: large requests arrive as many-extent lists, so the
+        # per-extent loop accumulates into locals and binds the geometry
+        # callables once, touching self only at entry and exit.
+        geometry = self.geometry
+        transfer_time = geometry.transfer_time
+        seek_time = geometry.seek_time
+        rotational_s = geometry.avg_rotational_latency_s
+        window = self._sequential_window
         seeks = 0
-        total = self.geometry.per_request_overhead_s
+        total = geometry.per_request_overhead_s
         head = self._head
         for ext in extents:
-            gap = ext.start - head
-            if 0 <= gap <= self._sequential_window:
+            start = ext.start
+            gap = start - head
+            if 0 <= gap <= window:
                 # Sequential continuation: pay only any skipped media time.
                 if gap:
-                    total += self.geometry.transfer_time(head, gap)
+                    total += transfer_time(head, gap)
             else:
                 seeks += 1
-                total += self.geometry.seek_time(head, ext.start)
-                total += self.geometry.avg_rotational_latency_s
-            total += self.geometry.transfer_time(ext.start, ext.length)
-            head = ext.end
+                total += seek_time(head, start) + rotational_s
+            length = ext.length
+            total += transfer_time(start, length)
+            head = start + length
         return _RequestCost(seeks=seeks, service_s=total)
 
     def _validate(self, extents: list[Extent]) -> None:

@@ -15,9 +15,13 @@ from dataclasses import dataclass, field
 from repro.units import MB
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowStats:
-    """Totals captured between ``start_window`` and ``end_window``."""
+    """Totals captured between ``start_window`` and ``end_window``.
+
+    Slotted: one of these is touched on every device request for every
+    open window, so the record path avoids ``__dict__`` lookups.
+    """
 
     name: str
     read_bytes: int = 0
@@ -66,7 +70,7 @@ class WindowStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class IoStats:
     """Cumulative counters plus a stack of open measurement windows."""
 
@@ -90,7 +94,7 @@ class IoStats:
         """Account one device request in the totals and all open windows."""
         self.requests += 1
         self.seeks += seeks
-        targets: list[WindowStats] = list(self._windows)
+        targets: list[WindowStats] = self._windows
         if is_write:
             self.write_bytes += nbytes
             self.write_time_s += service_s

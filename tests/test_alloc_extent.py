@@ -107,3 +107,29 @@ class TestCoalesce:
 
     def test_total_length(self):
         assert total_length([Extent(0, 10), Extent(100, 5)]) == 15
+
+
+class TestSlots:
+    def test_extent_is_slotted(self):
+        ext = Extent(0, 10)
+        assert not hasattr(ext, "__dict__")
+        assert set(Extent.__slots__) == {"start", "length"}
+        with pytest.raises(AttributeError):
+            object.__setattr__(ext, "color", "red")
+
+    def test_extent_remains_frozen(self):
+        ext = Extent(0, 10)
+        with pytest.raises(AttributeError):
+            ext.start = 5
+
+    def test_extent_remains_hashable(self):
+        ext = Extent(3, 7)
+        assert hash(ext) == hash(Extent(3, 7))
+        assert {ext: "a"}[Extent(3, 7)] == "a"
+        assert len({Extent(0, 1), Extent(0, 1), Extent(1, 1)}) == 2
+
+    def test_extent_pickles(self):
+        import pickle
+
+        ext = Extent(12, 34)
+        assert pickle.loads(pickle.dumps(ext)) == ext

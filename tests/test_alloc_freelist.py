@@ -3,8 +3,9 @@
 import pytest
 
 from repro.alloc.extent import Extent
-from repro.alloc.freelist import FreeExtentIndex
-from repro.errors import CorruptionError
+from repro.alloc.freelist import FreeExtentIndex, make_free_index
+from repro.alloc.naive import NaiveFreeExtentIndex
+from repro.errors import ConfigError, CorruptionError
 
 
 @pytest.fixture
@@ -159,3 +160,69 @@ class TestInvariants:
             index.check_invariants()
         total = index.total_free + sum(e.length for e in allocated)
         assert total == 1000
+
+
+class _CountingDict(dict):
+    """Dict that counts every bulk traversal of its contents.
+
+    Op-count instrumentation for the O(1) accounting regression: the
+    naive engine recomputed ``total_free`` with ``sum(values())`` on
+    every property access, so any traversal during reads is a
+    regression.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.traversals = 0
+
+    def values(self):
+        self.traversals += 1
+        return super().values()
+
+    def items(self):
+        self.traversals += 1
+        return super().items()
+
+    def keys(self):
+        self.traversals += 1
+        return super().keys()
+
+    def __iter__(self):
+        self.traversals += 1
+        return super().__iter__()
+
+
+class TestIncrementalAccounting:
+    def test_total_free_is_o1(self):
+        """Reading total_free must not traverse the per-run state."""
+        index = FreeExtentIndex(1 << 16)
+        for i in range(100):
+            index.remove(Extent(i * 512, 256))
+        counting = _CountingDict(index._len_by_start)
+        index._len_by_start = counting
+        expected = (1 << 16) - 100 * 256
+        for _ in range(50):
+            assert index.total_free == expected
+        assert counting.traversals == 0
+
+    def test_total_free_tracks_mutation(self):
+        index = FreeExtentIndex(4096)
+        index.remove(Extent(0, 1024))
+        assert index.total_free == 3072
+        index.add(Extent(0, 1024))
+        assert index.total_free == 4096
+        assert index.total_free == sum(e.length for e in index)
+
+
+class TestFactory:
+    def test_make_free_index_kinds(self):
+        assert isinstance(make_free_index(1000), FreeExtentIndex)
+        assert isinstance(make_free_index(1000, kind="tiered"),
+                          FreeExtentIndex)
+        naive = make_free_index(1000, kind="naive", initially_free=False)
+        assert isinstance(naive, NaiveFreeExtentIndex)
+        assert naive.total_free == 0
+
+    def test_make_free_index_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_free_index(1000, kind="bitmap")

@@ -193,3 +193,43 @@ class TestResults:
         row = self.make_result().samples[0].row()
         assert row["age"] == 0.0
         assert row["read MB/s"] == 10.0
+
+
+class TestIndexKindAblation:
+    def test_make_store_honours_index_kind(self):
+        from repro.alloc.freelist import FreeExtentIndex
+        from repro.alloc.naive import NaiveFreeExtentIndex
+
+        base = dict(backend="filesystem", sizes=ConstantSize(64 * KB),
+                    volume_bytes=64 * MB)
+        tiered = make_store(ExperimentConfig(**base))
+        assert isinstance(tiered.fs.free_index, FreeExtentIndex)
+        naive = make_store(ExperimentConfig(**base, index_kind="naive"))
+        assert isinstance(naive.fs.free_index, NaiveFreeExtentIndex)
+
+    def test_index_kind_validated(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(backend="filesystem",
+                             sizes=ConstantSize(64 * KB),
+                             index_kind="bitmap")
+
+    def test_index_kind_in_run_config(self):
+        from repro.fs.filesystem import FsConfig
+
+        config = ExperimentConfig(backend="filesystem",
+                                  sizes=ConstantSize(64 * KB),
+                                  index_kind="naive")
+        assert config.to_dict()["index_kind"] == "naive"
+        assert ExperimentConfig(
+            backend="filesystem", sizes=ConstantSize(64 * KB),
+        ).to_dict()["index_kind"] == "tiered"
+        # Provenance follows the engine actually instantiated: an
+        # fs_config-selected engine is recorded, and backends that never
+        # touch the index record None rather than a misleading default.
+        assert ExperimentConfig(
+            backend="filesystem", sizes=ConstantSize(64 * KB),
+            fs_config=FsConfig(index_kind="naive"),
+        ).to_dict()["index_kind"] == "naive"
+        assert ExperimentConfig(
+            backend="database", sizes=ConstantSize(64 * KB),
+        ).to_dict()["index_kind"] is None

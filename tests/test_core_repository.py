@@ -104,3 +104,26 @@ class TestTaggedContent:
         repo = LargeObjectRepository(content_file_store, tag_content=True)
         repo.put("a", data=b"user bytes")
         assert repo.get("a") == b"user bytes"
+
+
+class TestDeleteRecreateMarkers:
+    def test_recreate_outranks_stale_markers(self, content_file_store):
+        """A deleted key's stale on-disk markers must not count as
+        fragments of the recreated object (regression: delete() used to
+        reset the version counter, so the recreated copy's markers tied
+        the stale ones instead of outranking them)."""
+        from repro.core.fragmentation import MarkerScanner, fragment_counts
+
+        repo = LargeObjectRepository(content_file_store, tag_content=True)
+        repo.put("a", size=8 * KB)
+        repo.delete("a")
+        repo.put("a", size=4 * KB)  # carves the front of the freed run
+        device = content_file_store.fs.device
+        marker_counts = MarkerScanner(device).fragment_counts(
+            live_ids={repo.object_id("a")}
+        )
+        extent_counts = {
+            repo.object_id(key): count
+            for key, count in fragment_counts(repo.store).items()
+        }
+        assert marker_counts == extent_counts == {repo.object_id("a"): 1}

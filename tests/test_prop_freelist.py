@@ -2,7 +2,13 @@
 
 Invariant under any operation sequence: the index plus the allocated
 set partitions the volume — no byte is lost, duplicated, or handed out
-twice — and the two internal views stay synchronized.
+twice — and the internal tiers stay synchronized.
+
+The parity suite additionally drives the tiered engine and the naive
+flat-list reference model (:class:`NaiveFreeExtentIndex`) with
+identical operation sequences and asserts byte-identical free maps and
+placement-identical policy answers — including the banded ``first_fit``
+edge cases where a free run straddles ``min_start``.
 """
 
 from hypothesis import given, settings
@@ -11,6 +17,7 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.alloc.extent import Extent
 from repro.alloc.freelist import FreeExtentIndex
+from repro.alloc.naive import NaiveFreeExtentIndex
 
 CAPACITY = 4096
 
@@ -116,3 +123,137 @@ class FreeListMachine(RuleBasedStateMachine):
 TestFreeListMachine = FreeListMachine.TestCase
 TestFreeListMachine.settings = settings(max_examples=40, deadline=None,
                                         stateful_step_count=40)
+
+
+# ----------------------------------------------------------------------
+# Parity: tiered engine vs the naive flat-list reference model
+# ----------------------------------------------------------------------
+
+@st.composite
+def parity_ops(draw):
+    op = st.one_of(
+        st.tuples(st.sampled_from(["first", "best", "worst"]),
+                  st.integers(min_value=1, max_value=CAPACITY)),
+        st.tuples(st.just("next"),
+                  st.integers(min_value=1, max_value=512),
+                  st.integers(min_value=0, max_value=CAPACITY)),
+        st.tuples(st.just("banded"),
+                  st.integers(min_value=1, max_value=512),
+                  st.integers(min_value=0, max_value=CAPACITY - 1),
+                  st.integers(min_value=0, max_value=CAPACITY)),
+        st.tuples(st.just("free"),
+                  st.integers(min_value=0, max_value=10**6)),
+    )
+    return draw(st.lists(op, max_size=80))
+
+
+def _query(index, op):
+    """Run one drawn query op against one index; None when it is a miss."""
+    kind = op[0]
+    if kind == "first":
+        return index.first_fit(op[1])
+    if kind == "best":
+        return index.best_fit(op[1])
+    if kind == "worst":
+        return index.worst_fit(op[1])
+    if kind == "next":
+        return index.next_fit(op[1], op[2])
+    # banded: max_start is drawn independently and may sit below
+    # min_start, which must be a miss in both engines.
+    return index.first_fit(op[1], min_start=op[2], max_start=op[3])
+
+
+@given(parity_ops())
+@settings(max_examples=150, deadline=None)
+def test_tiered_matches_naive_reference(ops):
+    """Identical op sequences must yield identical free maps and answers."""
+    tiered = FreeExtentIndex(CAPACITY)
+    naive = NaiveFreeExtentIndex(CAPACITY)
+    allocated: list[Extent] = []
+    for op in ops:
+        if op[0] == "free":
+            if allocated:
+                ext = allocated.pop(op[1] % len(allocated))
+                tiered.add(ext)
+                naive.add(ext)
+        else:
+            run_t = _query(tiered, op)
+            run_n = _query(naive, op)
+            assert run_t == run_n, f"{op}: {run_t} != {run_n}"
+            if run_t is not None and op[0] != "banded":
+                size = op[1]
+                taken, _ = run_t.take_front(size)
+                tiered.remove(taken)
+                naive.remove(taken)
+                allocated.append(taken)
+        assert tiered.total_free == naive.total_free
+        assert list(tiered) == list(naive)
+    tiered.check_invariants()
+    naive.check_invariants()
+    assert tiered.largest() == naive.largest()
+    assert list(tiered.runs_by_size_desc()) == list(naive.runs_by_size_desc())
+
+
+def test_banded_first_fit_straddle_parity():
+    """Exhaustive banded grid around runs straddling min_start.
+
+    The free map [8,24) [32,40) [48,64) is probed with every
+    (size, min_start, max_start) combination, so min_start lands before,
+    inside, and exactly on run boundaries — the straddle cases where the
+    usable tail, not the full run, must satisfy the request.
+    """
+    cap = 64
+    tiered = FreeExtentIndex(cap)
+    naive = NaiveFreeExtentIndex(cap)
+    for ext in (Extent(0, 8), Extent(24, 8), Extent(40, 8)):
+        tiered.remove(ext)
+        naive.remove(ext)
+    assert list(tiered) == list(naive)
+    for size in range(1, 20):
+        for min_start in range(cap):
+            for max_start in (None, *range(0, cap + 1, 4)):
+                got = tiered.first_fit(size, min_start=min_start,
+                                       max_start=max_start)
+                want = naive.first_fit(size, min_start=min_start,
+                                       max_start=max_start)
+                assert got == want, (
+                    f"first_fit({size}, min_start={min_start}, "
+                    f"max_start={max_start}): {got} != {want}"
+                )
+
+
+def test_parity_across_block_splits():
+    """Parity must hold past the address tier's block-split threshold."""
+    cap = 1 << 22
+    tiered = FreeExtentIndex(cap, initially_free=False)
+    naive = NaiveFreeExtentIndex(cap, initially_free=False)
+    # 1500 isolated runs forces at least two block splits (_LOAD = 256).
+    for i in range(1500):
+        ext = Extent(i * 2048, 1 + (i * 7919) % 512)
+        tiered.add(ext)
+        naive.add(ext)
+    tiered.check_invariants()
+    assert list(tiered) == list(naive)
+    assert tiered.total_free == naive.total_free
+    for size in (1, 64, 200, 511, 512, 513):
+        assert tiered.first_fit(size) == naive.first_fit(size)
+        assert tiered.best_fit(size) == naive.best_fit(size)
+        assert tiered.worst_fit(size) == naive.worst_fit(size)
+        mid = cap // 2
+        assert tiered.first_fit(size, min_start=mid) == \
+            naive.first_fit(size, min_start=mid)
+        # Banded across block boundaries: windows that land mid-block,
+        # span blocks, and cut off before any fitting run.
+        for lo, hi in ((0, 100 * 2048), (400 * 2048, 800 * 2048),
+                       (mid, mid + 64 * 2048), (mid, mid)):
+            assert tiered.first_fit(size, min_start=lo, max_start=hi) == \
+                naive.first_fit(size, min_start=lo, max_start=hi)
+    # Tear down every other run to exercise deletes, block shrink, and
+    # stale-max recomputation, then re-check parity.
+    for i in range(0, 1500, 2):
+        ext = Extent(i * 2048, 1 + (i * 7919) % 512)
+        tiered.remove(ext)
+        naive.remove(ext)
+    tiered.check_invariants()
+    assert list(tiered) == list(naive)
+    assert list(tiered.runs_by_size_desc()) == list(naive.runs_by_size_desc())
