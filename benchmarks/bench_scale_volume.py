@@ -1,22 +1,37 @@
 #!/usr/bin/env python
-"""Volume-size scaling bench: filesystem churn cost vs volume size.
+"""Volume/store scaling bench: churn, segment store, and batched I/O.
 
-Sweeps volume sizes, drives the filesystem backend through a bulk load
-plus a delete/rewrite churn loop (the workload shape behind the paper's
-aging experiments), and reports host-side wall-clock per churn
-operation together with the free-run count the volume settled at.  Run
-for both engines this shows the trajectory the tentpole targets: the
-naive flat-list engine's per-op cost grows with the free map while the
-tiered engine stays flat, which is what unlocks multi-hundred-GB
-volumes and deep aging runs.
+Three scenarios, all host-side wall-clock measurements (the modelled
+device time is reported alongside, it does not change between
+implementations):
 
-Results go to ``BENCH_scale_volume.json`` (schema in
-``benchmarks/README.md``).
+* ``fs_churn`` — sweeps volume sizes, drives the filesystem backend
+  through a bulk load plus a delete/rewrite churn loop (the workload
+  shape behind the paper's aging experiments) for both free-space
+  engines.  The naive flat-list engine's per-op cost grows with the
+  free map while the tiered engine stays flat, which is what unlocks
+  multi-hundred-GB volumes and deep aging runs.
+* ``segment_store`` — the device's sparse content store, blocked
+  (shared :class:`~repro.struct.blockedlist.BlockedList` layout) vs
+  the seed's flat list, under random segment writes then reads.  The
+  flat list pays an O(n) memmove per write; the committed baseline
+  shows the blocked store ≥5× faster at 10^5 segments, which is what
+  makes content-checked aging runs practical beyond test scale.
+* ``batched_writes`` — the same scattered write stream submitted one
+  request per call vs scatter/gather batches per
+  :meth:`BlockDevice.submit`, reordering off (modelled cost is
+  asserted identical), plus the modelled seek count with the elevator
+  on — the knob for request-scheduling studies.
+
+Results go to ``BENCH_scale_volume.json`` (schema
+``bench-scale-volume/2``, documented in ``benchmarks/README.md``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scale_volume.py
     PYTHONPATH=src python benchmarks/bench_scale_volume.py --quick
+    PYTHONPATH=src python benchmarks/bench_scale_volume.py \
+        --scenarios segment_store --segments 200000
     PYTHONPATH=src python benchmarks/bench_scale_volume.py \
         --volumes 268435456,1073741824 --index tiered
 """
@@ -30,8 +45,11 @@ import random
 import time
 from pathlib import Path
 
-from repro.disk.device import BlockDevice
+from repro.disk.device import (
+    BlockDevice, IoRequest, _FlatSegmentStore, _SegmentStore,
+)
 from repro.disk.geometry import scaled_disk
+from repro.alloc.extent import Extent
 from repro.fs.filesystem import FsConfig, SimFilesystem
 from repro.units import KB, MB
 
@@ -43,6 +61,16 @@ FILE_BYTES = 64 * KB
 REQUEST_BYTES = 16 * KB
 OCCUPANCY = 0.5
 CHURN_OPS = 400
+
+DEFAULT_SEGMENTS = 100_000
+QUICK_SEGMENTS = 20_000
+SEGMENT_BYTES = 64
+SEGMENT_READS = 20_000
+
+DEFAULT_REQUESTS = 20_000
+QUICK_REQUESTS = 4_000
+DEFAULT_BATCH = 64
+SCENARIOS = ("fs_churn", "segment_store", "batched_writes")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -77,6 +105,7 @@ def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
 
     fs.check_invariants()
     return {
+        "scenario": "fs_churn",
         "index": kind,
         "volume_bytes": volume,
         "files": len(names),
@@ -88,14 +117,121 @@ def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
     }
 
 
+def run_segment_store(nsegments: int, seed: int = 11) -> list[dict]:
+    """Random disjoint writes then random reads, blocked vs flat."""
+    slots = list(range(nsegments))
+    random.Random(seed).shuffle(slots)
+    payload = b"\xa5" * SEGMENT_BYTES
+    nreads = min(SEGMENT_READS, nsegments)
+    rows = []
+    for store_kind, store in (("blocked", _SegmentStore()),
+                              ("flat", _FlatSegmentStore())):
+        t0 = time.perf_counter()
+        for slot in slots:
+            store.write(slot * 2 * SEGMENT_BYTES, payload)
+        write_s = time.perf_counter() - t0
+        read_rng = random.Random(seed + 1)
+        t0 = time.perf_counter()
+        for _ in range(nreads):
+            slot = read_rng.randrange(nsegments)
+            store.read(slot * 2 * SEGMENT_BYTES, SEGMENT_BYTES)
+        read_s = time.perf_counter() - t0
+        assert len(store) == nsegments
+        rows.append({
+            "scenario": "segment_store",
+            "store": store_kind,
+            "segments": nsegments,
+            "segment_bytes": SEGMENT_BYTES,
+            "write_us_per_op": round(write_s / nsegments * 1e6, 3),
+            "read_us_per_op": round(read_s / nreads * 1e6, 3),
+            "write_seconds": round(write_s, 4),
+            "read_seconds": round(read_s, 4),
+        })
+    return rows
+
+
+def run_batched_writes(nrequests: int, batch: int,
+                       seed: int = 13) -> list[dict]:
+    """Per-request vs batched submission of one scattered write stream."""
+    volume = 2048 * MB
+    stride = volume // (nrequests + 1)
+    rng = random.Random(seed)
+    offsets = [i * stride for i in range(nrequests)]
+    rng.shuffle(offsets)
+
+    def requests() -> list[IoRequest]:
+        return [IoRequest(True, [Extent(off, REQUEST_BYTES)])
+                for off in offsets]
+
+    rows = []
+    per = BlockDevice(scaled_disk(volume))
+    reqs = requests()
+    t0 = time.perf_counter()
+    for req in reqs:
+        per.submit([req])
+    per_s = time.perf_counter() - t0
+    rows.append({
+        "scenario": "batched_writes",
+        "mode": "per_request",
+        "requests": nrequests,
+        "batch": 1,
+        "host_us_per_op": round(per_s / nrequests * 1e6, 3),
+        "modelled_device_s": round(per.clock_s, 4),
+        "modelled_seeks": per.stats.seeks,
+        "stats_records": per.stats.requests,
+    })
+    batched = BlockDevice(scaled_disk(volume))
+    reqs = requests()
+    t0 = time.perf_counter()
+    for lo in range(0, nrequests, batch):
+        batched.submit(reqs[lo: lo + batch])
+    batched_s = time.perf_counter() - t0
+    assert abs(batched.clock_s - per.clock_s) < 1e-9 * max(1.0, per.clock_s)
+    rows.append({
+        "scenario": "batched_writes",
+        "mode": "batched",
+        "requests": nrequests,
+        "batch": batch,
+        "host_us_per_op": round(batched_s / nrequests * 1e6, 3),
+        "modelled_device_s": round(batched.clock_s, 4),
+        "modelled_seeks": batched.stats.seeks,
+        "stats_records": batched.stats.requests,
+    })
+    elevator = BlockDevice(scaled_disk(volume))
+    reqs = requests()
+    t0 = time.perf_counter()
+    for lo in range(0, nrequests, batch):
+        elevator.submit(reqs[lo: lo + batch], reorder=True)
+    elevator_s = time.perf_counter() - t0
+    rows.append({
+        "scenario": "batched_writes",
+        "mode": "batched_elevator",
+        "requests": nrequests,
+        "batch": batch,
+        "host_us_per_op": round(elevator_s / nrequests * 1e6, 3),
+        "modelled_device_s": round(elevator.clock_s, 4),
+        "modelled_seeks": elevator.stats.seeks,
+        "stats_records": elevator.stats.requests,
+    })
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
-                        help="single small volume (CI smoke)")
+                        help="small volume/segment counts (CI smoke)")
     parser.add_argument("--volumes", type=str, default=None,
                         help="comma-separated volume sizes in bytes")
     parser.add_argument("--index", type=str, default="tiered,naive",
                         help="comma-separated engines to measure")
+    parser.add_argument("--scenarios", type=str, default=",".join(SCENARIOS),
+                        help=f"comma-separated subset of {SCENARIOS}")
+    parser.add_argument("--segments", type=int, default=None,
+                        help="segment count for the segment_store scenario")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="request count for the batched_writes scenario")
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH,
+                        help="requests per submit() in batched_writes")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).parent /
                         "BENCH_scale_volume.json")
@@ -106,15 +242,49 @@ def main(argv: list[str] | None = None) -> int:
     else:
         volumes = QUICK_VOLUMES if args.quick else DEFAULT_VOLUMES
     kinds = tuple(args.index.split(","))
+    scenarios = tuple(args.scenarios.split(","))
+    for name in scenarios:
+        if name not in SCENARIOS:
+            parser.error(f"unknown scenario {name!r}; choose from {SCENARIOS}")
+    nsegments = args.segments or (
+        QUICK_SEGMENTS if args.quick else DEFAULT_SEGMENTS)
+    nrequests = args.requests or (
+        QUICK_REQUESTS if args.quick else DEFAULT_REQUESTS)
 
     rows = []
-    for volume in volumes:
-        for kind in kinds:
-            print(f"... {kind} @ {volume // MB} MB volume", flush=True)
-            rows.append(run_volume(kind, volume))
+    if "fs_churn" in scenarios:
+        for volume in volumes:
+            for kind in kinds:
+                print(f"... fs_churn {kind} @ {volume // MB} MB volume",
+                      flush=True)
+                rows.append(run_volume(kind, volume))
+    if "segment_store" in scenarios:
+        print(f"... segment_store @ {nsegments} segments", flush=True)
+        rows.extend(run_segment_store(nsegments))
+    if "batched_writes" in scenarios:
+        print(f"... batched_writes @ {nrequests} requests, "
+              f"batch {args.batch}", flush=True)
+        rows.extend(run_batched_writes(nrequests, args.batch))
+
+    speedups: dict[str, float] = {}
+    seg = {r["store"]: r for r in rows
+           if r.get("scenario") == "segment_store"}
+    if {"flat", "blocked"} <= seg.keys():
+        for phase in ("write", "read"):
+            blocked = seg["blocked"][f"{phase}_us_per_op"]
+            if blocked > 0:
+                speedups[f"segment_store_{phase}@{nsegments}"] = round(
+                    seg["flat"][f"{phase}_us_per_op"] / blocked, 2)
+    modes = {r["mode"]: r for r in rows
+             if r.get("scenario") == "batched_writes"}
+    if {"per_request", "batched"} <= modes.keys():
+        batched_us = modes["batched"]["host_us_per_op"]
+        if batched_us > 0:
+            speedups[f"batched_host@{nrequests}"] = round(
+                modes["per_request"]["host_us_per_op"] / batched_us, 2)
 
     report = {
-        "schema": "bench-scale-volume/1",
+        "schema": "bench-scale-volume/2",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -122,17 +292,43 @@ def main(argv: list[str] | None = None) -> int:
             "request_bytes": REQUEST_BYTES,
             "occupancy": OCCUPANCY,
             "churn_ops": CHURN_OPS,
+            "segments": nsegments,
+            "segment_bytes": SEGMENT_BYTES,
+            "requests": nrequests,
+            "batch": args.batch,
+            "scenarios": list(scenarios),
         },
         "results": rows,
+        "speedups": speedups,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
-    print(f"\n{'volume':>10s} {'index':>7s} {'files':>7s} {'build s':>8s} "
-          f"{'churn us/op':>12s} {'free runs':>10s}")
-    for r in rows:
-        print(f"{r['volume_bytes'] // MB:>8d}MB {r['index']:>7s} "
-              f"{r['files']:>7d} {r['build_seconds']:>8.2f} "
-              f"{r['churn_us_per_op']:>12.1f} {r['free_runs']:>10d}")
+    churn = [r for r in rows if r.get("scenario") == "fs_churn"]
+    if churn:
+        print(f"\n{'volume':>10s} {'index':>7s} {'files':>7s} "
+              f"{'build s':>8s} {'churn us/op':>12s} {'free runs':>10s}")
+        for r in churn:
+            print(f"{r['volume_bytes'] // MB:>8d}MB {r['index']:>7s} "
+                  f"{r['files']:>7d} {r['build_seconds']:>8.2f} "
+                  f"{r['churn_us_per_op']:>12.1f} {r['free_runs']:>10d}")
+    if seg:
+        print(f"\n{'store':>8s} {'segments':>9s} {'write us/op':>12s} "
+              f"{'read us/op':>11s}")
+        for r in seg.values():
+            print(f"{r['store']:>8s} {r['segments']:>9d} "
+                  f"{r['write_us_per_op']:>12.2f} "
+                  f"{r['read_us_per_op']:>11.2f}")
+    if modes:
+        print(f"\n{'mode':>17s} {'batch':>6s} {'host us/op':>11s} "
+              f"{'device s':>9s} {'seeks':>8s} {'records':>8s}")
+        for r in modes.values():
+            print(f"{r['mode']:>17s} {r['batch']:>6d} "
+                  f"{r['host_us_per_op']:>11.2f} "
+                  f"{r['modelled_device_s']:>9.2f} "
+                  f"{r['modelled_seeks']:>8d} {r['stats_records']:>8d}")
+    if speedups:
+        print("\nspeedups: " + ", ".join(
+            f"{k}: {v}x" for k, v in speedups.items()))
     print(f"\nwrote {args.out}")
     return 0
 

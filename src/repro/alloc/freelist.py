@@ -6,27 +6,40 @@ experiment — bulk load, safe-write churn, fragmentation aging — funnels
 through it, so it is engineered as a tiered engine rather than the flat
 sorted lists of the original implementation (preserved as
 :class:`~repro.alloc.naive.NaiveFreeExtentIndex` for parity tests and
-the ``--index naive`` ablation):
+the ``--index naive`` ablation).  Both tiers are instances of the
+shared :class:`~repro.struct.blockedlist.BlockedList` primitive —
+see its module docstring for the block-size bounds, split/merge rules,
+and the augmentation contract:
 
-* **Address tier** — a two-level B-tree: a block directory (sorted block
-  minima) over blocks of at most ``2 * _LOAD`` sorted run starts.
-  Insert/delete/predecessor cost O(log n) directory search plus an
-  O(_LOAD) in-block ``memmove``, instead of the flat list's O(n).  Each
-  directory entry is augmented with the **max run length** in its block,
-  so ``first_fit``/``next_fit`` (including the ``min_start``/
-  ``max_start`` banded queries) skip whole blocks that cannot satisfy a
-  request instead of scanning run by run.
+* **Address tier** — a :class:`BlockedList` of run starts, augmented
+  per block with the **max run length** (and the count of runs
+  attaining it) via :class:`MaxWeightAugmentation`.  Insert/delete/
+  predecessor cost O(log n) directory search plus an O(load) in-block
+  ``memmove``, instead of the flat list's O(n), and ``first_fit``/
+  ``next_fit`` (including the ``min_start``/``max_start`` banded
+  queries) use the augmentation to skip whole blocks that cannot
+  satisfy a request instead of scanning run by run.
 * **Size tier** — power-of-two buckets (bucket *b* holds runs whose
-  length has ``bit_length() == b``), each a small sorted list of
-  ``(length, start)`` pairs.  ``best_fit`` bisects one bucket and falls
-  through to the next non-empty one; ``worst_fit``/``largest`` read the
-  tail of the highest non-empty bucket; ``runs_by_size_desc`` streams
-  buckets top-down — all without maintaining one global O(n) sorted
-  list.
+  length has ``bit_length() == b``), each an unaugmented
+  :class:`BlockedList` of ``(length, start)`` pairs, so a skewed
+  workload landing every run in one bucket still pays only O(load)
+  per mutation.  ``best_fit`` bisects one bucket and falls through to
+  the next non-empty one; ``worst_fit``/``largest`` read the tail of
+  the highest non-empty bucket; ``runs_by_size_desc`` streams buckets
+  top-down — all without maintaining one global O(n) sorted list.
 * **Incremental accounting** — :attr:`total_free`, the run count, and
   the largest run are maintained under mutation, so reading them is
   O(1) (the largest-run probe scans at most ``capacity.bit_length()``
   bucket heads, a constant for any fixed volume).
+
+Complexity of the public methods, with n free runs: ``add`` /
+``remove`` are O(log n + load) — carves and merges that only move a
+run boundary take the in-place :meth:`BlockedList.replace` fast path;
+only a mid-run carve pays a delete plus two inserts.  ``run_at`` /
+``run_starting_at`` / ``best_fit`` / ``worst_fit`` / ``largest`` are
+O(log n); ``first_fit`` / ``next_fit`` are O(log n) plus one scanned
+block per directory block whose max-run augmentation passes the size
+filter.  ``total_free`` and ``__len__`` are O(1).
 
 The public API and error semantics are identical to the naive engine:
 :class:`~repro.errors.CorruptionError` on double frees or overlapping
@@ -44,126 +57,17 @@ from collections.abc import Iterator
 from repro.alloc.extent import Extent
 from repro.alloc.naive import NaiveFreeExtentIndex
 from repro.errors import ConfigError, CorruptionError
+from repro.struct.blockedlist import (
+    DEFAULT_LOAD, BlockedList, MaxWeightAugmentation,
+)
 
-#: Target block size of the address tier.  Blocks split when they reach
-#: twice this.  The value trades the O(_LOAD) in-block memmove per
-#: mutation against the O(n / _LOAD) block-directory scan of a failed
-#: first-fit sweep; ~256 is near the optimum across 10^3..10^6 runs.
-_LOAD = 256
+#: Target block size of both tiers; see
+#: :data:`repro.struct.blockedlist.DEFAULT_LOAD` for the trade-off.
+_LOAD = DEFAULT_LOAD
 
 #: Engine names accepted by :func:`make_free_index` (and therefore by
 #: ``FsConfig.index_kind`` / the benches' ``--index`` flag).
 INDEX_KINDS = ("tiered", "naive")
-
-
-class _BlockedPairs:
-    """Two-level sorted set of ``(length, start)`` pairs.
-
-    The size tier's per-bucket structure.  A skewed workload can land
-    most free runs in one power-of-two bucket (e.g. every run the same
-    length), so buckets use the same blocked layout as the address
-    tier: a directory of block minima over blocks of at most
-    ``2 * _LOAD`` pairs, bounding every mutation's memmove to O(_LOAD)
-    instead of O(bucket).
-    """
-
-    __slots__ = ("_blocks", "_mins", "_n")
-
-    def __init__(self) -> None:
-        self._blocks: list[list[tuple[int, int]]] = []
-        self._mins: list[tuple[int, int]] = []
-        self._n = 0
-
-    def __len__(self) -> int:
-        return self._n
-
-    def insert(self, pair: tuple[int, int]) -> None:
-        blocks = self._blocks
-        mins = self._mins
-        self._n += 1
-        if not blocks:
-            blocks.append([pair])
-            mins.append(pair)
-            return
-        bi = bisect.bisect_right(mins, pair) - 1
-        if bi < 0:
-            bi = 0
-        block = blocks[bi]
-        bisect.insort(block, pair)
-        if block[0] != mins[bi]:
-            mins[bi] = block[0]
-        if len(block) >= 2 * _LOAD:
-            half = len(block) // 2
-            right = block[half:]
-            del block[half:]
-            blocks.insert(bi + 1, right)
-            mins.insert(bi + 1, right[0])
-
-    def remove(self, pair: tuple[int, int]) -> bool:
-        """Drop ``pair``; False when it was not present."""
-        mins = self._mins
-        bi = bisect.bisect_right(mins, pair) - 1
-        if bi < 0:
-            return False
-        block = self._blocks[bi]
-        pos = bisect.bisect_left(block, pair)
-        if pos >= len(block) or block[pos] != pair:
-            return False
-        del block[pos]
-        self._n -= 1
-        if not block:
-            del self._blocks[bi]
-            del mins[bi]
-        elif pos == 0:
-            mins[bi] = block[0]
-        return True
-
-    def first(self) -> tuple[int, int]:
-        return self._blocks[0][0]
-
-    def last(self) -> tuple[int, int]:
-        return self._blocks[-1][-1]
-
-    def first_ge(self, key: tuple[int, int]) -> tuple[int, int] | None:
-        """Smallest pair ``>= key``, or None."""
-        blocks = self._blocks
-        if not blocks:
-            return None
-        mins = self._mins
-        bi = bisect.bisect_right(mins, key) - 1
-        if bi < 0:
-            return blocks[0][0]
-        block = blocks[bi]
-        pos = bisect.bisect_left(block, key)
-        if pos < len(block):
-            return block[pos]
-        if bi + 1 < len(blocks):
-            return blocks[bi + 1][0]
-        return None
-
-    def __iter__(self):
-        for block in self._blocks:
-            yield from block
-
-    def iter_desc(self):
-        for block in reversed(self._blocks):
-            yield from reversed(block)
-
-    def check(self, label: str) -> None:
-        """Raise :class:`CorruptionError` on internal inconsistency."""
-        if len(self._blocks) != len(self._mins):
-            raise CorruptionError(f"{label}: directory sizes disagree")
-        flat: list[tuple[int, int]] = []
-        for bi, block in enumerate(self._blocks):
-            if not block:
-                raise CorruptionError(f"{label}: empty block")
-            if self._mins[bi] != block[0]:
-                raise CorruptionError(f"{label}: stale block minimum")
-            flat.extend(block)
-        if flat != sorted(flat):
-            raise CorruptionError(f"{label}: pairs are unsorted")
-        if len(flat) != self._n:
-            raise CorruptionError(f"{label}: count drifted")
 
 
 class FreeExtentIndex:
@@ -183,18 +87,17 @@ class FreeExtentIndex:
         self.capacity = capacity
         #: run start -> run length (the O(1) length authority).
         self._len_by_start: dict[int, int] = {}
-        # Address tier: blocks of sorted starts plus a parallel block
-        # directory of (minimum start, max run length, #runs attaining
-        # that max).  The count lets a delete decrement instead of
-        # rescanning the block when several runs tie for longest.
-        self._ablocks: list[list[int]] = []
-        self._amins: list[int] = []
-        self._amax: list[int] = []
-        self._amaxn: list[int] = []
+        # Address tier: run starts, augmented with the max run length
+        # per block.  Rescans pull lengths straight from the dict, so
+        # every mutation updates _len_by_start before the tier.
+        self._addr = BlockedList(
+            load=_LOAD,
+            augment=MaxWeightAugmentation(self._len_by_start.__getitem__),
+        )
         # Size tier: bucket b holds (length, start) pairs, sorted, for
         # runs with length.bit_length() == b.
-        self._buckets: list[_BlockedPairs] = [
-            _BlockedPairs() for _ in range(capacity.bit_length() + 1)
+        self._buckets: list[BlockedList] = [
+            BlockedList(load=_LOAD) for _ in range(capacity.bit_length() + 1)
         ]
         #: High-watermark bucket hint: no bucket above it is non-empty.
         #: Raised eagerly on insert, lowered lazily by :meth:`largest`.
@@ -202,152 +105,6 @@ class FreeExtentIndex:
         self._total_free = 0
         if initially_free:
             self._insert(0, capacity)
-
-    # ------------------------------------------------------------------
-    # Address tier
-    # ------------------------------------------------------------------
-    def _block_max(self, block: list[int]) -> tuple[int, int]:
-        """(max run length, #runs attaining it) for one block — O(block)."""
-        lens = self._len_by_start
-        mx = 0
-        cnt = 0
-        for s in block:
-            length = lens[s]
-            if length > mx:
-                mx, cnt = length, 1
-            elif length == mx:
-                cnt += 1
-        return mx, cnt
-
-    def _a_insert(self, start: int, length: int) -> None:
-        mins = self._amins
-        blocks = self._ablocks
-        if not blocks:
-            blocks.append([start])
-            mins.append(start)
-            self._amax.append(length)
-            self._amaxn.append(1)
-            return
-        bi = bisect.bisect_right(mins, start) - 1
-        if bi < 0:
-            bi = 0
-        block = blocks[bi]
-        pos = bisect.bisect_left(block, start)
-        block.insert(pos, start)
-        if pos == 0:
-            mins[bi] = start
-        amax = self._amax
-        if length > amax[bi]:
-            amax[bi] = length
-            self._amaxn[bi] = 1
-        elif length == amax[bi]:
-            self._amaxn[bi] += 1
-        if len(block) >= 2 * _LOAD:
-            self._a_split(bi)
-
-    def _a_split(self, bi: int) -> None:
-        block = self._ablocks[bi]
-        half = len(block) // 2
-        right = block[half:]
-        del block[half:]
-        self._ablocks.insert(bi + 1, right)
-        self._amins.insert(bi + 1, right[0])
-        self._amax[bi], self._amaxn[bi] = self._block_max(block)
-        rmax, rcnt = self._block_max(right)
-        self._amax.insert(bi + 1, rmax)
-        self._amaxn.insert(bi + 1, rcnt)
-
-    def _a_delete(self, start: int, length: int) -> None:
-        mins = self._amins
-        bi = bisect.bisect_right(mins, start) - 1
-        if bi < 0:
-            raise CorruptionError(f"free index views out of sync at {start}")
-        block = self._ablocks[bi]
-        pos = bisect.bisect_left(block, start)
-        if pos >= len(block) or block[pos] != start:
-            raise CorruptionError(f"free index views out of sync at {start}")
-        del block[pos]
-        if not block:
-            del self._ablocks[bi]
-            del mins[bi]
-            del self._amax[bi]
-            del self._amaxn[bi]
-            return
-        if pos == 0:
-            mins[bi] = block[0]
-        if length == self._amax[bi]:
-            self._amaxn[bi] -= 1
-            if self._amaxn[bi] == 0:
-                self._amax[bi], self._amaxn[bi] = self._block_max(block)
-
-    def _a_update(self, old_start: int, old_len: int,
-                  new_start: int, new_len: int) -> None:
-        """Rewrite one run's directory entry in place (no memmove).
-
-        The caller guarantees the replacement preserves address order
-        (carves and merges only move a boundary between two existing
-        neighbours) and has already updated ``_len_by_start``.
-        """
-        mins = self._amins
-        bi = bisect.bisect_right(mins, old_start) - 1
-        if bi < 0:
-            raise CorruptionError(
-                f"free index views out of sync at {old_start}"
-            )
-        block = self._ablocks[bi]
-        pos = bisect.bisect_left(block, old_start)
-        if pos >= len(block) or block[pos] != old_start:
-            raise CorruptionError(
-                f"free index views out of sync at {old_start}"
-            )
-        block[pos] = new_start
-        if pos == 0:
-            mins[bi] = new_start
-        amax = self._amax[bi]
-        if new_len > amax:
-            self._amax[bi] = new_len
-            self._amaxn[bi] = 1
-        else:
-            if new_len == amax:
-                self._amaxn[bi] += 1
-            if old_len == amax:
-                self._amaxn[bi] -= 1
-                if self._amaxn[bi] == 0:
-                    self._amax[bi], self._amaxn[bi] = self._block_max(block)
-
-    def _pred_le(self, offset: int) -> int | None:
-        """Largest run start ``<= offset``, or None."""
-        bi = bisect.bisect_right(self._amins, offset) - 1
-        if bi < 0:
-            return None
-        block = self._ablocks[bi]
-        pos = bisect.bisect_right(block, offset) - 1
-        return block[pos] if pos >= 0 else None
-
-    def _pred_lt(self, offset: int) -> int | None:
-        """Largest run start ``< offset``, or None."""
-        bi = bisect.bisect_left(self._amins, offset) - 1
-        if bi < 0:
-            return None
-        block = self._ablocks[bi]
-        pos = bisect.bisect_left(block, offset) - 1
-        return block[pos] if pos >= 0 else None
-
-    def _succ_gt(self, offset: int) -> int | None:
-        """Smallest run start ``> offset``, or None."""
-        blocks = self._ablocks
-        if not blocks:
-            return None
-        bi = bisect.bisect_right(self._amins, offset) - 1
-        if bi < 0:
-            return blocks[0][0]
-        block = blocks[bi]
-        pos = bisect.bisect_right(block, offset)
-        if pos < len(block):
-            return block[pos]
-        if bi + 1 < len(blocks):
-            return blocks[bi + 1][0]
-        return None
 
     # ------------------------------------------------------------------
     # Size tier
@@ -367,23 +124,31 @@ class FreeExtentIndex:
     # ------------------------------------------------------------------
     def _insert(self, start: int, length: int) -> None:
         self._len_by_start[start] = length
-        self._a_insert(start, length)
+        self._addr.insert(start, weight=length)
         self._b_insert(start, length)
         self._total_free += length
 
     def _delete(self, start: int) -> int:
         length = self._len_by_start.pop(start)
-        self._a_delete(start, length)
+        if not self._addr.remove(start, weight=length):
+            raise CorruptionError(f"free index views out of sync at {start}")
         self._b_delete(start, length)
         self._total_free -= length
         return length
 
     def _resize(self, old_start: int, new_start: int, new_len: int) -> None:
-        """Move one run's boundary in place (carve/merge fast path)."""
+        """Move one run's boundary in place (carve/merge fast path).
+
+        The caller guarantees the replacement preserves address order
+        (carves and merges only move a boundary between two existing
+        neighbours), which is what lets the address tier rewrite the
+        entry without a memmove.
+        """
         lens = self._len_by_start
         old_len = lens.pop(old_start)
         lens[new_start] = new_len
-        self._a_update(old_start, old_len, new_start, new_len)
+        self._addr.replace(old_start, new_start,
+                           old_weight=old_len, new_weight=new_len)
         self._b_delete(old_start, old_len)
         self._b_insert(new_start, new_len)
         self._total_free += new_len - old_len
@@ -402,12 +167,12 @@ class FreeExtentIndex:
         if end > self.capacity:
             raise CorruptionError(f"{ext} extends past capacity {self.capacity}")
         lens = self._len_by_start
-        pred = self._pred_le(start)
+        pred = self._addr.pred_le(start)
         if pred is not None and pred + lens[pred] > start:
             raise CorruptionError(
                 f"double free: {ext} overlaps free run at {pred}"
             )
-        succ = self._succ_gt(start)
+        succ = self._addr.succ_gt(start)
         if succ is not None and succ < end:
             raise CorruptionError(
                 f"double free: {ext} overlaps free run at {succ}"
@@ -435,7 +200,7 @@ class FreeExtentIndex:
         """
         estart, eend = ext.start, ext.end
         lens = self._len_by_start
-        rstart = self._pred_le(estart)
+        rstart = self._addr.pred_le(estart)
         if rstart is None:
             raise CorruptionError(f"{ext} is not free")
         rlen = lens[rstart]
@@ -461,7 +226,7 @@ class FreeExtentIndex:
     # ------------------------------------------------------------------
     def run_at(self, offset: int) -> Extent | None:
         """The free run containing ``offset``, or None when allocated."""
-        start = self._pred_le(offset)
+        start = self._addr.pred_le(offset)
         if start is None:
             return None
         run = Extent(start, self._len_by_start[start])
@@ -484,14 +249,14 @@ class FreeExtentIndex:
         so blocks with no fitting run are skipped without touching them.
         """
         lens = self._len_by_start
-        pred = self._pred_lt(min_start)
+        pred = self._addr.pred_lt(min_start)
         if pred is not None:
             pred_end = pred + lens[pred]
             if pred_end > min_start and pred_end - min_start >= size:
                 return Extent(pred, lens[pred])
-        mins = self._amins
-        blocks = self._ablocks
-        amax = self._amax
+        mins = self._addr.mins
+        blocks = self._addr.blocks
+        sums = self._addr.sums
         nb = len(blocks)
         bi = bisect.bisect_right(mins, min_start) - 1
         if bi < 0:
@@ -505,7 +270,7 @@ class FreeExtentIndex:
             lo = pos if b == bi else 0
             if max_start is not None and block[lo] > max_start:
                 return None
-            if amax[b] < size:
+            if sums[b][0] < size:
                 continue
             for i in range(lo, len(block)):
                 s = block[i]
@@ -568,9 +333,8 @@ class FreeExtentIndex:
     def __iter__(self) -> Iterator[Extent]:
         """Free runs in address order."""
         lens = self._len_by_start
-        for block in self._ablocks:
-            for start in block:
-                yield Extent(start, lens[start])
+        for start in self._addr:
+            yield Extent(start, lens[start])
 
     def __len__(self) -> int:
         return len(self._len_by_start)
@@ -586,21 +350,10 @@ class FreeExtentIndex:
         Used by property tests; O(n log n).
         """
         lens = self._len_by_start
-        if not (len(self._ablocks) == len(self._amins) == len(self._amax)
-                == len(self._amaxn)):
-            raise CorruptionError("block directory sizes disagree")
-        starts = [s for block in self._ablocks for s in block]
+        self._addr.check("address tier")
+        starts = list(self._addr)
         if len(starts) != len(lens):
             raise CorruptionError("view sizes disagree")
-        if starts != sorted(starts):
-            raise CorruptionError("address view is unsorted")
-        for bi, block in enumerate(self._ablocks):
-            if not block:
-                raise CorruptionError("empty address block")
-            if self._amins[bi] != block[0]:
-                raise CorruptionError(f"stale block minimum at block {bi}")
-            if (self._amax[bi], self._amaxn[bi]) != self._block_max(block):
-                raise CorruptionError(f"stale block max-run at block {bi}")
         prev_end: int | None = None
         total = 0
         for start in starts:

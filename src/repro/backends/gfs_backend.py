@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.alloc.extent import Extent
 from repro.backends.base import ObjectMeta, StoreStats
 from repro.backends.costmodel import CostModel
-from repro.disk.device import BlockDevice
+from repro.disk.device import BlockDevice, IoRequest
 from repro.errors import ConfigError, ObjectNotFoundError, StorageFullError
 from repro.units import DEFAULT_WRITE_REQUEST, MB
 
@@ -110,12 +110,20 @@ class GfsChunkBackend:
         record = _Record(key=key, chunk_id=chunk.chunk_id,
                          offset_in_chunk=chunk.used, size=size,
                          version=version)
+        # Bulk path: one scatter/gather submission per record instead of
+        # one stats record per write_request chunk.
+        batch: list[IoRequest] = []
         cursor = 0
         while cursor < size:
             step = min(self.write_request, size - cursor)
             payload = data[cursor: cursor + step] if data is not None else None
-            self.device.write(chunk.base + chunk.used + cursor, step, payload)
+            batch.append(
+                IoRequest(True,
+                          [Extent(chunk.base + chunk.used + cursor, step)],
+                          payload)
+            )
             cursor += step
+        self.device.submit(batch)
         chunk.used += size
         return record
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.alloc.extent import Extent
 from repro.backends.base import ObjectMeta, StoreStats
 from repro.backends.costmodel import CostModel
-from repro.disk.device import BlockDevice
+from repro.disk.device import BlockDevice, IoRequest
 from repro.errors import ConfigError, ObjectNotFoundError, StorageFullError
 from repro.units import DEFAULT_WRITE_REQUEST, MB
 
@@ -101,12 +101,18 @@ class LfsBackend:
             if data is not None:
                 payload = data[cursor: cursor + take]
             offset = seg.base + seg.used
+            # Bulk path: one scatter/gather submission per log piece
+            # instead of one stats record per write_request chunk.
+            batch: list[IoRequest] = []
             step = 0
             while step < take:
                 req = min(self.write_request, take - step)
                 chunk = payload[step: step + req] if payload is not None else None
-                self.device.write(offset + step, req, chunk)
+                batch.append(
+                    IoRequest(True, [Extent(offset + step, req)], chunk)
+                )
                 step += req
+            self.device.submit(batch)
             loc.pieces.append((seg.seg_id, seg.used, take))
             seg.used += take
             seg.live += take

@@ -5,11 +5,44 @@ It tracks the head position, charges seek + rotational latency for every
 discontiguous extent touched and media transfer time for every byte, and
 accumulates everything in an :class:`~repro.disk.iostats.IoStats`.
 
+Submission paths
+----------------
+All timed I/O funnels through :meth:`BlockDevice.submit`, which takes a
+batch of :class:`IoRequest` scatter/gather requests, charges the cost
+model for the whole batch with the head position chaining request to
+request, and records **one** :class:`IoStats` entry per batch.
+:meth:`read_extents` / :meth:`write_extents` are single-request batches;
+the backends' bulk paths (LFS/GFS appends) submit many requests per
+call to cut host-side accounting overhead on bulk loads.  With
+``reorder=True`` the batch is served in elevator (C-LOOK) order —
+ascending starts from the current head, wrapping once — which models
+request-scheduling effects; modelled cost with ``reorder=False`` is
+exactly identical to submitting the requests one call at a time.
+Content effects (stored bytes, read results) always apply in
+*submission* order regardless of reordering: the elevator changes the
+timing model, never the semantics.
+
+Content storage
+---------------
 Content storage is optional.  Fragmentation experiments only need timing
 and layout, so by default the device stores nothing and ``read`` returns
 ``None``.  With ``store_data=True`` the device keeps a sparse segment map
-of written bytes, which the marker-based fragmentation analyzer and the
-crash/atomicity tests use to verify byte-exact behaviour.
+of written bytes (:class:`_SegmentStore`), which the marker-based
+fragmentation analyzer and the crash/atomicity tests use to verify
+byte-exact behaviour.
+
+The segment store's invariants: segments are non-empty, non-adjacent-
+overlapping byte runs keyed by start offset; a write carves away every
+overlapped part of existing segments before inserting, so no byte is
+ever covered twice; unwritten ranges read back as zeros, like a fresh
+disk.  The store is built on the shared
+:class:`~repro.struct.blockedlist.BlockedList` primitive, making
+``write``/``trim`` O(log n + load + k) for k displaced segments and
+``read`` O(log n + segments touched) — at paper scale (10^5+ segments
+during content-checked aging runs) this replaces the seed's flat list,
+whose O(n) memmove per write made content-checked runs test-scale only.
+That flat implementation is preserved as :class:`_FlatSegmentStore` for
+byte-parity property tests (``tests/test_disk_batch.py``).
 """
 
 from __future__ import annotations
@@ -21,32 +54,147 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.iostats import IoStats
 from repro.errors import ConfigError
 from repro.alloc.extent import Extent
+from repro.struct.blockedlist import BlockedList
 
 
 class _SegmentStore:
-    """Sparse byte store: non-overlapping (start, bytes) segments.
+    """Sparse byte store: non-overlapping ``(start, bytes)`` segments.
 
-    Kept simple (list + bisect) because content storage is only enabled at
-    test scale.  Unwritten ranges read back as zeros, like a fresh disk.
+    A :class:`BlockedList` orders the segment starts; a dict holds the
+    payloads.  Mutations carve overlapping neighbours first (keeping
+    any uncovered prefix/suffix), so the non-overlap invariant holds
+    after every call.
+    """
+
+    def __init__(self) -> None:
+        self._index = BlockedList()
+        self._data: dict[int, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Store ``data`` at ``offset``, replacing whatever it overlaps."""
+        if not data:
+            return
+        payloads = self._data
+        # Fast path: replacing a segment with one of identical extent
+        # (safe-write churn rewrites objects in place) touches only the
+        # payload dict — no index mutation at all.
+        seg = payloads.get(offset)
+        if seg is not None and len(seg) == len(data):
+            payloads[offset] = bytes(data)
+            return
+        # A write is a trim (carve away everything it overlaps) plus an
+        # insert of the new segment into the hole.
+        self.trim(offset, len(data))
+        self._index.insert(offset)
+        payloads[offset] = bytes(data)
+
+    def trim(self, offset: int, length: int) -> None:
+        """Discard stored bytes in ``[offset, offset + length)``.
+
+        Trimmed ranges read back as zeros again, like TRIM/UNMAP on a
+        thin-provisioned device.
+        """
+        if length <= 0:
+            return
+        end = offset + length
+        index = self._index
+        payloads = self._data
+        # Left neighbour (strictly earlier start) may straddle offset.
+        pred = index.pred_lt(offset)
+        if pred is not None:
+            seg = payloads[pred]
+            pred_end = pred + len(seg)
+            if pred_end > offset:
+                payloads[pred] = seg[: offset - pred]
+                if pred_end > end:
+                    # Straddles the whole range: keep the suffix too.
+                    # Nothing else can overlap [offset, end).
+                    index.insert(end)
+                    payloads[end] = seg[end - pred:]
+                    return
+        # Segments starting inside [offset, end) are (partially) covered.
+        doomed: list[int] = []
+        overhang: bytes | None = None
+        for start in index.iter_from(offset):
+            if start >= end:
+                break
+            doomed.append(start)
+            seg = payloads[start]
+            if start + len(seg) > end:
+                overhang = seg[end - start:]
+        for start in doomed:
+            index.remove(start)
+            del payloads[start]
+        if overhang:
+            index.insert(end)
+            payloads[end] = overhang
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes; unwritten ranges come back as zeros."""
+        payloads = self._data
+        # Fast path: reading back exactly what was written — a segment
+        # starting at ``offset`` that covers the whole range (nothing
+        # else can overlap it, segments are disjoint).
+        seg = payloads.get(offset)
+        if seg is not None and len(seg) >= length:
+            return seg if len(seg) == length else seg[:length]
+        out = bytearray(length)
+        end = offset + length
+        index = self._index
+        pred = index.pred_lt(offset)
+        if pred is not None:
+            seg = payloads[pred]
+            pred_end = pred + len(seg)
+            if pred_end > offset:
+                hi = min(pred_end, end)
+                out[: hi - offset] = seg[offset - pred: hi - pred]
+        for start in index.iter_from(offset):
+            if start >= end:
+                break
+            seg = payloads[start]
+            hi = min(start + len(seg), end)
+            out[start - offset: hi - offset] = seg[: hi - start]
+        return bytes(out)
+
+
+class _FlatSegmentStore:
+    """The seed's flat-list segment store, kept as the parity model.
+
+    Semantically identical to :class:`_SegmentStore` but pays an O(n)
+    list memmove per mutation; property tests drive both with the same
+    write/trim/read sequences and assert byte-identical results, and
+    ``bench_scale_volume.py --segments`` measures the gap.
     """
 
     def __init__(self) -> None:
         self._starts: list[int] = []
         self._data: list[bytes] = []
 
+    def __len__(self) -> int:
+        return len(self._starts)
+
     def write(self, offset: int, data: bytes) -> None:
         if not data:
             return
-        end = offset + len(data)
-        # Find all segments overlapping [offset, end) and carve them.
+        self.trim(offset, len(data))
+        insert_at = bisect.bisect_left(self._starts, offset)
+        self._starts.insert(insert_at, offset)
+        self._data.insert(insert_at, bytes(data))
+
+    def trim(self, offset: int, length: int) -> None:
+        if length <= 0:
+            return
+        end = offset + length
+        # Carve the left neighbour if it overlaps [offset, end).
         idx = bisect.bisect_right(self._starts, offset) - 1
         if idx >= 0:
             seg_start = self._starts[idx]
             seg = self._data[idx]
             if seg_start + len(seg) > offset:
-                # Left neighbour overlaps: keep its prefix.
                 keep = seg[: offset - seg_start]
-                tail = seg[offset - seg_start:]
                 if keep:
                     self._data[idx] = keep
                     idx += 1
@@ -54,10 +202,11 @@ class _SegmentStore:
                     del self._starts[idx]
                     del self._data[idx]
                 if seg_start + len(seg) > end:
-                    # Segment extends past the write: keep its suffix.
-                    suffix = tail[end - offset:]
+                    # Straddles the whole range: keep the suffix too.
+                    suffix = seg[end - seg_start:]
                     self._starts.insert(idx, end)
                     self._data.insert(idx, suffix)
+                    return
             else:
                 idx += 1
         else:
@@ -70,13 +219,9 @@ class _SegmentStore:
                 del self._starts[idx]
                 del self._data[idx]
             else:
-                suffix = seg[end - seg_start:]
+                self._data[idx] = seg[end - seg_start:]
                 self._starts[idx] = end
-                self._data[idx] = suffix
                 break
-        insert_at = bisect.bisect_left(self._starts, offset)
-        self._starts.insert(insert_at, offset)
-        self._data.insert(insert_at, bytes(data))
 
     def read(self, offset: int, length: int) -> bytes:
         out = bytearray(length)
@@ -97,9 +242,26 @@ class _SegmentStore:
 
 
 @dataclass(slots=True)
-class _RequestCost:
-    seeks: int
-    service_s: float
+class IoRequest:
+    """One scatter/gather request inside a :meth:`BlockDevice.submit` batch.
+
+    ``extents`` are served in order within the request (the head chains
+    through them); ``data``, when content storage is on, must cover the
+    extents in logical order.
+    """
+
+    is_write: bool
+    extents: list[Extent]
+    data: bytes | None = None
+
+    @classmethod
+    def read(cls, extents: list[Extent]) -> "IoRequest":
+        return cls(is_write=False, extents=extents)
+
+    @classmethod
+    def write(cls, extents: list[Extent],
+              data: bytes | None = None) -> "IoRequest":
+        return cls(is_write=True, extents=extents, data=data)
 
 
 class BlockDevice:
@@ -131,10 +293,14 @@ class BlockDevice:
     # ------------------------------------------------------------------
     # Service-time model
     # ------------------------------------------------------------------
-    def _cost_of(self, extents: list[Extent]) -> _RequestCost:
-        # Hot path: large requests arrive as many-extent lists, so the
-        # per-extent loop accumulates into locals and binds the geometry
-        # callables once, touching self only at entry and exit.
+    def _cost_of(self, extents: list[Extent],
+                 head: int) -> tuple[int, float, int]:
+        """(seeks, service seconds, final head) for one request.
+
+        Hot path: large requests arrive as many-extent lists, so the
+        per-extent loop accumulates into locals and binds the geometry
+        callables once, touching self only at entry.
+        """
         geometry = self.geometry
         transfer_time = geometry.transfer_time
         seek_time = geometry.seek_time
@@ -142,7 +308,6 @@ class BlockDevice:
         window = self._sequential_window
         seeks = 0
         total = geometry.per_request_overhead_s
-        head = self._head
         for ext in extents:
             start = ext.start
             gap = start - head
@@ -156,7 +321,7 @@ class BlockDevice:
             length = ext.length
             total += transfer_time(start, length)
             head = start + length
-        return _RequestCost(seeks=seeks, service_s=total)
+        return seeks, total, head
 
     def _validate(self, extents: list[Extent]) -> None:
         for ext in extents:
@@ -166,22 +331,102 @@ class BlockDevice:
                     f"{self.geometry.capacity} bytes"
                 )
 
+    def _elevator(self, batch: list[IoRequest]) -> list[IoRequest]:
+        """C-LOOK order: ascending starts from the head, wrapping once."""
+        head = self._head
+
+        def start_of(req: IoRequest) -> int:
+            return req.extents[0].start if req.extents else head
+
+        ahead = sorted((r for r in batch if start_of(r) >= head), key=start_of)
+        behind = sorted((r for r in batch if start_of(r) < head), key=start_of)
+        return ahead + behind
+
     # ------------------------------------------------------------------
     # Timed I/O
     # ------------------------------------------------------------------
+    def submit(self, batch: list[IoRequest], *,
+               reorder: bool = False) -> list[bytes | None]:
+        """Serve a batch of requests; one ``IoStats`` record per batch.
+
+        Costs are charged with the head chaining through the batch in
+        service order (``reorder=True`` picks elevator order, otherwise
+        submission order), so a non-reordered batch costs exactly what
+        the same requests cost submitted one at a time.  Returns one
+        entry per request in submission order: read results (when
+        content storage is on) or ``None``.  An empty batch is a no-op.
+        """
+        if not batch:
+            return []
+        if len(batch) == 1:
+            # Fast path for the single-request wrappers (read_extents /
+            # write_extents sit on every experiment's hot path): same
+            # accounting, none of the batch bookkeeping.
+            req = batch[0]
+            self._validate(req.extents)
+            seeks, service, head = self._cost_of(req.extents, self._head)
+            self._head = head
+            nbytes = 0
+            for ext in req.extents:
+                nbytes += ext.length
+            if req.is_write:
+                self.stats.record_batch(write_bytes=nbytes, write_s=service,
+                                        seeks=seeks)
+            else:
+                self.stats.record_batch(read_bytes=nbytes, read_s=service,
+                                        seeks=seeks)
+            self.clock_s += service
+            return [self._apply_content(req)]
+        for req in batch:
+            self._validate(req.extents)
+        order = self._elevator(batch) if reorder else batch
+        head = self._head
+        seeks = 0
+        read_bytes = write_bytes = 0
+        read_s = write_s = 0.0
+        for req in order:
+            req_seeks, service, head = self._cost_of(req.extents, head)
+            seeks += req_seeks
+            nbytes = 0
+            for ext in req.extents:
+                nbytes += ext.length
+            if req.is_write:
+                write_bytes += nbytes
+                write_s += service
+            else:
+                read_bytes += nbytes
+                read_s += service
+        self._head = head
+        self.stats.record_batch(read_bytes=read_bytes, write_bytes=write_bytes,
+                                read_s=read_s, write_s=write_s, seeks=seeks)
+        self.clock_s += read_s + write_s
+        # Content pass, always in submission order: reordering is a
+        # timing-model choice and must never change stored bytes.
+        return [self._apply_content(req) for req in batch]
+
+    def _apply_content(self, req: IoRequest) -> bytes | None:
+        """Apply one request's content effect; None unless a stored read."""
+        store = self._store
+        if store is None:
+            return None
+        if not req.is_write:
+            return b"".join(store.read(e.start, e.length)
+                            for e in req.extents)
+        if req.data is not None:
+            nbytes = sum(e.length for e in req.extents)
+            if len(req.data) != nbytes:
+                raise ConfigError(
+                    f"data length {len(req.data)} != extent bytes {nbytes}"
+                )
+            cursor = 0
+            for ext in req.extents:
+                store.write(ext.start, req.data[cursor: cursor + ext.length])
+                cursor += ext.length
+        return None
+
     def read_extents(self, extents: list[Extent]) -> bytes | None:
         """Read a list of extents as one request; returns data if stored."""
-        self._validate(extents)
-        cost = self._cost_of(extents)
-        nbytes = sum(e.length for e in extents)
-        self.stats.record(is_write=False, nbytes=nbytes,
-                          service_s=cost.service_s, seeks=cost.seeks)
-        self.clock_s += cost.service_s
-        if extents:
-            self._head = extents[-1].end
-        if self._store is None:
-            return None
-        return b"".join(self._store.read(e.start, e.length) for e in extents)
+        return self.submit([IoRequest(False, extents)])[0]
 
     def write_extents(self, extents: list[Extent],
                       data: bytes | None = None) -> None:
@@ -190,32 +435,16 @@ class BlockDevice:
         ``data`` (when content storage is on) must cover the extents in
         order; pass ``None`` to write timing-only.
         """
-        self._validate(extents)
-        cost = self._cost_of(extents)
-        nbytes = sum(e.length for e in extents)
-        self.stats.record(is_write=True, nbytes=nbytes,
-                          service_s=cost.service_s, seeks=cost.seeks)
-        self.clock_s += cost.service_s
-        if extents:
-            self._head = extents[-1].end
-        if self._store is not None and data is not None:
-            if len(data) != nbytes:
-                raise ConfigError(
-                    f"data length {len(data)} != extent bytes {nbytes}"
-                )
-            cursor = 0
-            for ext in extents:
-                self._store.write(ext.start, data[cursor: cursor + ext.length])
-                cursor += ext.length
+        self.submit([IoRequest(True, extents, data)])
 
     def read(self, offset: int, length: int) -> bytes | None:
         """Timed single-extent read."""
-        return self.read_extents([Extent(offset, length)])
+        return self.submit([IoRequest(False, [Extent(offset, length)])])[0]
 
     def write(self, offset: int, length: int,
               data: bytes | None = None) -> None:
         """Timed single-extent write."""
-        self.write_extents([Extent(offset, length)], data)
+        self.submit([IoRequest(True, [Extent(offset, length)], data)])
 
     def flush(self) -> None:
         """Force outstanding writes; modelled as one rotation of latency.
@@ -245,6 +474,12 @@ class BlockDevice:
         if self._store is None:
             raise ConfigError("device was created with store_data=False")
         self._store.write(offset, data)
+
+    def discard(self, offset: int, length: int) -> None:
+        """Drop stored content in a range (untimed TRIM); reads zeros after."""
+        if self._store is None:
+            raise ConfigError("device was created with store_data=False")
+        self._store.trim(offset, length)
 
     @property
     def head_position(self) -> int:

@@ -1,0 +1,13 @@
+"""Shared in-memory data-structure primitives.
+
+The simulation's indexes (free-space map, device segment store) all
+need the same thing: a sorted collection with O(log n) search and
+mutations that never pay a whole-collection memmove.  The blocked
+two-level layout in :mod:`repro.struct.blockedlist` is that shared
+answer; see its module docstring for the invariants and the
+augmentation contract.
+"""
+
+from repro.struct.blockedlist import BlockedList, MaxWeightAugmentation
+
+__all__ = ["BlockedList", "MaxWeightAugmentation"]

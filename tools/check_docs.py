@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the markdown docs.
+
+Scans ``README.md``, ``docs/*.md``, ``benchmarks/README.md``,
+``ROADMAP.md``, and ``CHANGES.md`` for inline markdown links/images
+whose target is a relative path, resolves each against the linking
+file's directory, and exits non-zero listing every target that does
+not exist.  External links (``http(s):``, ``mailto:``) and pure
+in-page anchors (``#...``) are ignored; a ``path#anchor`` target is
+checked for the path only.
+
+Stdlib-only so the CI docs job needs no installs::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_GLOBS = ("README.md", "ROADMAP.md", "CHANGES.md", "docs/*.md",
+             "benchmarks/*.md")
+#: Inline links and images: [text](target) / ![alt](target).  Ignores
+#: fenced code by stripping those blocks first.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(ROOT.glob(pattern)))
+    return files
+
+
+def broken_links(path: Path) -> list[str]:
+    text = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    bad: list[str] = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if ROOT not in resolved.parents and resolved != ROOT:
+            bad.append(f"{target} (escapes the repo)")
+        elif not resolved.exists():
+            bad.append(target)
+    return bad
+
+
+def main() -> int:
+    failures = 0
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        for target in broken_links(path):
+            failures += 1
+            print(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    if failures:
+        print(f"\n{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: {checked} file(s), no broken intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
