@@ -22,9 +22,18 @@ implementations):
   :meth:`BlockDevice.submit`, reordering off (modelled cost is
   asserted identical), plus the modelled seek count with the elevator
   on — the knob for request-scheduling studies.
+* ``sharded_aging`` — an aged get/put workload built purely from
+  :class:`StoreSpec`\\ s via the backend registry: a single-volume LFS
+  baseline vs a 4-shard :class:`ShardedStore` (same aggregate
+  capacity) vs the same sharded store with a C-LOOK
+  :class:`DevicePolicy` on batched read sweeps.  Reports **modelled
+  device time**: sharding shortens seeks (smaller per-shard volumes)
+  and the elevator shortens them further on the scattered aged-read
+  stream — the multi-volume + request-scheduling study the ROADMAP
+  calls for.
 
 Results go to ``BENCH_scale_volume.json`` (schema
-``bench-scale-volume/2``, documented in ``benchmarks/README.md``).
+``bench-scale-volume/3``, documented in ``benchmarks/README.md``).
 
 Usage::
 
@@ -45,10 +54,13 @@ import random
 import time
 from pathlib import Path
 
+from repro.backends.registry import build_store
+from repro.backends.spec import StoreSpec
 from repro.disk.device import (
     BlockDevice, IoRequest, _FlatSegmentStore, _SegmentStore,
 )
 from repro.disk.geometry import scaled_disk
+from repro.disk.policy import DevicePolicy
 from repro.alloc.extent import Extent
 from repro.fs.filesystem import FsConfig, SimFilesystem
 from repro.units import KB, MB
@@ -70,7 +82,17 @@ SEGMENT_READS = 20_000
 DEFAULT_REQUESTS = 20_000
 QUICK_REQUESTS = 4_000
 DEFAULT_BATCH = 64
-SCENARIOS = ("fs_churn", "segment_store", "batched_writes")
+
+AGING_VOLUME = 512 * MB
+QUICK_AGING_VOLUME = 128 * MB
+AGING_OBJECT = 256 * KB
+AGING_SHARDS = 4
+AGING_READ_BATCH = 16
+#: Overwrites per loaded object before the read sweep (storage age).
+AGING_CHURN_AGE = 2
+
+SCENARIOS = ("fs_churn", "segment_store", "batched_writes",
+             "sharded_aging")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -216,6 +238,73 @@ def run_batched_writes(nrequests: int, batch: int,
     return rows
 
 
+def run_sharded_aging(volume: int, seed: int = 17) -> list[dict]:
+    """Aged read device time: single volume vs shards vs shards+C-LOOK.
+
+    Every store is built from a :class:`StoreSpec` through the registry
+    — the bench never names a backend class.  The workload is the aging
+    shape: bulk load LFS to 50 % occupancy, overwrite-churn to storage
+    age ``AGING_CHURN_AGE`` (scattering objects through the log), then
+    a whole-population random read sweep through ``read_many``, whose
+    batching/ordering the spec's :class:`DevicePolicy` governs.
+    """
+    specs = [
+        ("single", StoreSpec("lfs", volume_bytes=volume)),
+        ("sharded", StoreSpec("lfs", volume_bytes=volume,
+                              shards=AGING_SHARDS)),
+        ("sharded_clook", StoreSpec(
+            "lfs", volume_bytes=volume, shards=AGING_SHARDS,
+            policy=DevicePolicy(batch_size=AGING_READ_BATCH,
+                                reorder="clook"),
+        )),
+    ]
+    rows = []
+    for label, spec in specs:
+        store = build_store(spec)
+        rng = random.Random(seed)
+        target = int(spec.volume_bytes * OCCUPANCY)
+        keys: list[str] = []
+        loaded = 0
+        t0 = time.perf_counter()
+        while loaded + AGING_OBJECT <= target:
+            key = f"o{len(keys)}"
+            store.put(key, size=AGING_OBJECT)
+            keys.append(key)
+            loaded += AGING_OBJECT
+        for _ in range(AGING_CHURN_AGE * len(keys)):
+            store.overwrite(rng.choice(keys), size=AGING_OBJECT)
+        build_s = time.perf_counter() - t0
+        churn_device_s = sum(d.clock_s for d in store.devices())
+
+        sweep = list(keys)
+        rng.shuffle(sweep)
+        seeks_before = sum(d.stats.seeks for d in store.devices())
+        t0 = time.perf_counter()
+        store.read_many(sweep)
+        sweep_host_s = time.perf_counter() - t0
+        sweep_device_s = sum(d.clock_s for d in store.devices()) \
+            - churn_device_s
+        rows.append({
+            "scenario": "sharded_aging",
+            "config": label,
+            "shards": spec.shards,
+            "reorder": spec.policy.reorder,
+            "read_batch": spec.policy.batch_size,
+            "volume_bytes": spec.volume_bytes,
+            "objects": len(keys),
+            "storage_age": AGING_CHURN_AGE,
+            "build_seconds": round(build_s, 4),
+            "sweep_reads": len(sweep),
+            "sweep_host_seconds": round(sweep_host_s, 4),
+            "sweep_device_s": round(sweep_device_s, 4),
+            "sweep_seeks": sum(d.stats.seeks for d in store.devices())
+            - seeks_before,
+            "modelled_device_s": round(
+                sum(d.clock_s for d in store.devices()), 4),
+        })
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -232,6 +321,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="request count for the batched_writes scenario")
     parser.add_argument("--batch", type=int, default=DEFAULT_BATCH,
                         help="requests per submit() in batched_writes")
+    parser.add_argument("--aging-volume", type=int, default=None,
+                        help="volume size in bytes for sharded_aging")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).parent /
                         "BENCH_scale_volume.json")
@@ -265,6 +356,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"... batched_writes @ {nrequests} requests, "
               f"batch {args.batch}", flush=True)
         rows.extend(run_batched_writes(nrequests, args.batch))
+    if "sharded_aging" in scenarios:
+        aging_volume = args.aging_volume or (
+            QUICK_AGING_VOLUME if args.quick else AGING_VOLUME)
+        print(f"... sharded_aging @ {aging_volume // MB} MB volume, "
+              f"{AGING_SHARDS} shards", flush=True)
+        rows.extend(run_sharded_aging(aging_volume))
 
     speedups: dict[str, float] = {}
     seg = {r["store"]: r for r in rows
@@ -282,9 +379,16 @@ def main(argv: list[str] | None = None) -> int:
         if batched_us > 0:
             speedups[f"batched_host@{nrequests}"] = round(
                 modes["per_request"]["host_us_per_op"] / batched_us, 2)
+    aging = {r["config"]: r for r in rows
+             if r.get("scenario") == "sharded_aging"}
+    if {"single", "sharded_clook"} <= aging.keys():
+        clook_s = aging["sharded_clook"]["sweep_device_s"]
+        if clook_s > 0:
+            speedups["sharded_clook_read_device_time"] = round(
+                aging["single"]["sweep_device_s"] / clook_s, 2)
 
     report = {
-        "schema": "bench-scale-volume/2",
+        "schema": "bench-scale-volume/3",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -296,6 +400,10 @@ def main(argv: list[str] | None = None) -> int:
             "segment_bytes": SEGMENT_BYTES,
             "requests": nrequests,
             "batch": args.batch,
+            "aging_object_bytes": AGING_OBJECT,
+            "aging_shards": AGING_SHARDS,
+            "aging_read_batch": AGING_READ_BATCH,
+            "aging_churn_age": AGING_CHURN_AGE,
             "scenarios": list(scenarios),
         },
         "results": rows,
@@ -326,6 +434,16 @@ def main(argv: list[str] | None = None) -> int:
                   f"{r['host_us_per_op']:>11.2f} "
                   f"{r['modelled_device_s']:>9.2f} "
                   f"{r['modelled_seeks']:>8d} {r['stats_records']:>8d}")
+    aging_rows = [r for r in rows if r.get("scenario") == "sharded_aging"]
+    if aging_rows:
+        print(f"\n{'config':>15s} {'shards':>6s} {'reorder':>8s} "
+              f"{'objects':>8s} {'sweep dev s':>12s} {'sweep seeks':>12s} "
+              f"{'total dev s':>12s}")
+        for r in aging_rows:
+            print(f"{r['config']:>15s} {r['shards']:>6d} "
+                  f"{r['reorder']:>8s} {r['objects']:>8d} "
+                  f"{r['sweep_device_s']:>12.3f} {r['sweep_seeks']:>12d} "
+                  f"{r['modelled_device_s']:>12.2f}")
     if speedups:
         print("\nspeedups: " + ", ".join(
             f"{k}: {v}x" for k, v in speedups.items()))

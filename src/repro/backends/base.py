@@ -75,7 +75,30 @@ class ObjectStore(Protocol):
 
     def meta(self, key: str) -> ObjectMeta: ...
 
-    def keys(self) -> list[str]: ...
+    def keys(self) -> list[str]:
+        """Live keys in deterministic **insertion order**.
+
+        Contract: the order of first live ``put``; ``overwrite`` keeps a
+        key's position; ``delete`` followed by a fresh ``put`` moves it
+        to the end.  The workload driver, fragmentation reports, and the
+        sharded composite all rely on this being reproducible, and the
+        parity suite asserts it across every backend.
+        """
+        ...
+
+    def read_many(self, keys: list[str]) -> list[bytes | None]:
+        """Bulk whole-object read sweep through the device policy.
+
+        One scatter/gather request per object, submitted via
+        :meth:`BlockDevice.submit_policy` so the store's
+        :class:`~repro.disk.policy.DevicePolicy` (batch size, elevator
+        reordering) governs scheduling — the measurement path for the
+        request-scheduling study.  Returns one entry per key, aligned
+        with ``keys``: the object's bytes when the device stores
+        content, else ``None``.  Metadata costs are charged per object,
+        like :meth:`get`.
+        """
+        ...
 
     def object_extents(self, key: str) -> list[Extent]:
         """Physical layout of the object's data, logical order."""

@@ -10,8 +10,10 @@ from __future__ import annotations
 from repro.alloc.extent import Extent
 from repro.backends.base import ObjectMeta, StoreStats
 from repro.backends.costmodel import CostModel
+from repro.backends.registry import object_option, register_backend
+from repro.backends.spec import StoreSpec
 from repro.db.database import DbConfig, SimDatabase
-from repro.disk.device import BlockDevice
+from repro.disk.device import BlockDevice, IoRequest
 from repro.errors import ObjectNotFoundError
 
 
@@ -87,6 +89,20 @@ class BlobBackend:
     def keys(self) -> list[str]:
         return self.meta_table.keys()
 
+    def read_many(self, keys: list[str]) -> list[bytes | None]:
+        requests: list[IoRequest] = []
+        sizes: list[int] = []
+        for key in keys:
+            row = self._meta_lookup(key)
+            self.cost.charge_db_stream(self.device.stats, row["size"])
+            requests.append(
+                IoRequest(False, self.db.blobs.blob_extents(row["blob_id"]))
+            )
+            sizes.append(row["size"])
+        results = self.device.submit_policy(requests)
+        return [r if r is None else r[:size]
+                for r, size in zip(results, sizes)]
+
     def object_extents(self, key: str) -> list[Extent]:
         row = self.meta_table.get(key)
         return self.db.blobs.blob_extents(row["blob_id"])
@@ -105,3 +121,16 @@ class BlobBackend:
             free_bytes=self.db.free_bytes,
             capacity=self.db.capacity,
         )
+
+
+@register_backend(
+    "database",
+    description="SQL-Server-like: out-of-row BLOBs, bulk logged",
+    options={"db_config": object_option(DbConfig)},
+)
+def _database_from_spec(spec: StoreSpec,
+                        device: BlockDevice) -> BlobBackend:
+    db_config = spec.option("db_config") or DbConfig(
+        write_request=spec.write_request
+    )
+    return BlobBackend(device, db_config=db_config)

@@ -13,11 +13,21 @@ of them — the workload is synchronous.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.alloc.extent import Extent
+from repro.alloc.freelist import INDEX_KINDS
 from repro.backends.base import ObjectMeta, StoreStats
 from repro.backends.costmodel import CostModel
+from repro.backends.registry import (
+    bool_option,
+    choice_option,
+    object_option,
+    register_backend,
+)
+from repro.backends.spec import StoreSpec
 from repro.db.database import DbConfig, SimDatabase
-from repro.disk.device import BlockDevice
+from repro.disk.device import BlockDevice, IoRequest
 from repro.disk.geometry import scaled_disk
 from repro.errors import ObjectNotFoundError
 from repro.fs.filesystem import FsConfig, SimFilesystem
@@ -138,6 +148,22 @@ class FileBackend:
     def keys(self) -> list[str]:
         return self.meta_table.keys()
 
+    def read_many(self, keys: list[str]) -> list[bytes | None]:
+        requests: list[IoRequest] = []
+        sizes: list[int] = []
+        for key in keys:
+            row = self._meta_lookup(key)
+            fname = row["path"]
+            self.cost.charge_file_open(self.device.stats)
+            self.fs.read_record(fname)
+            requests.append(IoRequest(False, self.fs.extent_map(fname)))
+            self.cost.charge_file_stream(self.device.stats, row["size"])
+            self.cost.charge_file_close(self.device.stats)
+            sizes.append(row["size"])
+        results = self.device.submit_policy(requests)
+        return [r if r is None else r[:size]
+                for r, size in zip(results, sizes)]
+
     def object_extents(self, key: str) -> list[Extent]:
         row = self.meta_table.get(key)
         return self.fs.extent_map(row["path"])
@@ -157,3 +183,27 @@ class FileBackend:
             free_bytes=self.fs.free_bytes,
             capacity=self.fs.data_capacity,
         )
+
+
+@register_backend(
+    "filesystem",
+    description="NTFS-like: file per object + metadata database",
+    options={
+        "index_kind": choice_option(*INDEX_KINDS),
+        "size_hints": bool_option,
+        "fs_config": object_option(FsConfig),
+    },
+)
+def _filesystem_from_spec(spec: StoreSpec,
+                          device: BlockDevice) -> FileBackend:
+    fs_config = spec.option("fs_config")
+    index_kind = spec.option("index_kind")
+    if index_kind is not None:
+        fs_config = replace(fs_config or FsConfig(),
+                            index_kind=index_kind)
+    return FileBackend(
+        device,
+        fs_config=fs_config,
+        write_request=spec.write_request,
+        size_hints=bool(spec.option("size_hints", False)),
+    )

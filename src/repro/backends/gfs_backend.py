@@ -21,6 +21,12 @@ from dataclasses import dataclass
 from repro.alloc.extent import Extent
 from repro.backends.base import ObjectMeta, StoreStats
 from repro.backends.costmodel import CostModel
+from repro.backends.registry import (
+    float_option,
+    register_backend,
+    size_option,
+)
+from repro.backends.spec import StoreSpec
 from repro.disk.device import BlockDevice, IoRequest
 from repro.errors import ConfigError, ObjectNotFoundError, StorageFullError
 from repro.units import DEFAULT_WRITE_REQUEST, MB
@@ -111,7 +117,8 @@ class GfsChunkBackend:
                          offset_in_chunk=chunk.used, size=size,
                          version=version)
         # Bulk path: one scatter/gather submission per record instead of
-        # one stats record per write_request chunk.
+        # one stats record per write_request chunk; the device policy
+        # caps the batch size and picks the order.
         batch: list[IoRequest] = []
         cursor = 0
         while cursor < size:
@@ -123,7 +130,7 @@ class GfsChunkBackend:
                           payload)
             )
             cursor += step
-        self.device.submit(batch)
+        self.device.submit_policy(batch)
         chunk.used += size
         return record
 
@@ -240,6 +247,17 @@ class GfsChunkBackend:
     def keys(self) -> list[str]:
         return list(self._records)
 
+    def read_many(self, keys: list[str]) -> list[bytes | None]:
+        requests: list[IoRequest] = []
+        for key in keys:
+            record = self._lookup(key)
+            self.cost.charge_db_query(self.device.stats)
+            chunk = self._chunks[record.chunk_id]
+            requests.append(IoRequest(False, [
+                Extent(chunk.base + record.offset_in_chunk, record.size)
+            ]))
+        return self.device.submit_policy(requests)
+
     def object_extents(self, key: str) -> list[Extent]:
         record = self._lookup(key)
         chunk = self._chunks[record.chunk_id]
@@ -282,3 +300,20 @@ class GfsChunkBackend:
             return self._records[key]
         except KeyError:
             raise ObjectNotFoundError(f"no object {key!r}") from None
+
+
+@register_backend(
+    "gfs",
+    description="GFS-style fixed chunks with record append",
+    options={
+        "chunk_size": size_option,
+        "gc_dead_fraction": float_option,
+    },
+)
+def _gfs_from_spec(spec: StoreSpec, device: BlockDevice) -> GfsChunkBackend:
+    return GfsChunkBackend(
+        device,
+        chunk_size=spec.option("chunk_size", 64 * MB),
+        write_request=spec.write_request,
+        gc_dead_fraction=spec.option("gc_dead_fraction", 0.5),
+    )

@@ -16,6 +16,12 @@ from dataclasses import dataclass, field
 from repro.alloc.extent import Extent
 from repro.backends.base import ObjectMeta, StoreStats
 from repro.backends.costmodel import CostModel
+from repro.backends.registry import (
+    float_option,
+    register_backend,
+    size_option,
+)
+from repro.backends.spec import StoreSpec
 from repro.disk.device import BlockDevice, IoRequest
 from repro.errors import ConfigError, ObjectNotFoundError, StorageFullError
 from repro.units import DEFAULT_WRITE_REQUEST, MB
@@ -102,7 +108,8 @@ class LfsBackend:
                 payload = data[cursor: cursor + take]
             offset = seg.base + seg.used
             # Bulk path: one scatter/gather submission per log piece
-            # instead of one stats record per write_request chunk.
+            # instead of one stats record per write_request chunk; the
+            # device policy caps the batch size and picks the order.
             batch: list[IoRequest] = []
             step = 0
             while step < take:
@@ -112,7 +119,7 @@ class LfsBackend:
                     IoRequest(True, [Extent(offset + step, req)], chunk)
                 )
                 step += req
-            self.device.submit(batch)
+            self.device.submit_policy(batch)
             loc.pieces.append((seg.seg_id, seg.used, take))
             seg.used += take
             seg.live += take
@@ -262,6 +269,14 @@ class LfsBackend:
     def keys(self) -> list[str]:
         return list(self._objects)
 
+    def read_many(self, keys: list[str]) -> list[bytes | None]:
+        requests: list[IoRequest] = []
+        for key in keys:
+            loc = self._lookup(key)
+            self.cost.charge_db_query(self.device.stats)
+            requests.append(IoRequest(False, self._extents_of(loc)))
+        return self.device.submit_policy(requests)
+
     def object_extents(self, key: str) -> list[Extent]:
         return self._extents_of(self._lookup(key))
 
@@ -298,3 +313,20 @@ class LfsBackend:
             return self._objects[key]
         except KeyError:
             raise ObjectNotFoundError(f"no object {key!r}") from None
+
+
+@register_backend(
+    "lfs",
+    description="log-structured segments with a cleaner",
+    options={
+        "segment_size": size_option,
+        "clean_threshold": float_option,
+    },
+)
+def _lfs_from_spec(spec: StoreSpec, device: BlockDevice) -> LfsBackend:
+    return LfsBackend(
+        device,
+        segment_size=spec.option("segment_size", 4 * MB),
+        write_request=spec.write_request,
+        clean_threshold=spec.option("clean_threshold", 0.75),
+    )

@@ -1,0 +1,199 @@
+"""Multi-volume composite: :class:`ShardedStore`.
+
+The ROADMAP's north star asks for aggregate multi-device throughput;
+related work (SEARS, arXiv:1508.01182) gets there by spreading objects
+across many small stores instead of scaling one.  ``ShardedStore`` is
+that composite for this codebase: an :class:`ObjectStore` that stripes
+keys over N inner stores (each with its own device, free-space index,
+and cleaner), so every driver written against the protocol — the
+experiment runner, :class:`LargeObjectRepository`, the fragmentation
+analyzers — runs unchanged over a multi-volume layout.
+
+Placement policies (``spec.placement``):
+
+* ``hash`` — stable CRC32 of the key; spreads any key population
+  uniformly and needs no state to route reads.
+* ``round_robin`` — strict rotation in put order; the best spread for
+  bulk loads of same-sized objects.
+* ``size_banded`` — shard index by size band (geometric bands doubling
+  from ``band_bytes``), segregating small from large objects the way
+  mixed-workload deployments do to keep small-object churn from
+  fragmenting large-object volumes.
+
+Placement is **sticky**: an object stays on the shard that first stored
+it; ``overwrite`` never migrates (a safe write that hopped shards would
+charge cross-volume copies the paper's workload does not contain).
+``delete`` followed by a fresh ``put`` re-places, and moves the key to
+the end of :meth:`keys` — exactly the protocol's insertion-order
+contract.
+
+Stats aggregate across shards: :meth:`store_stats` sums the per-shard
+:class:`StoreStats` fields, :meth:`devices` concatenates every shard's
+devices (so measurement windows span all volumes), and
+:meth:`object_extents` reports the owning shard's extents (offsets are
+per-shard device addresses; fragment counts coalesce within one object
+and therefore within one shard, so reports stay exact).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+
+from repro.alloc.extent import Extent
+from repro.backends.base import ObjectMeta, ObjectStore, StoreStats
+from repro.backends.registry import register_backend
+from repro.backends.spec import PLACEMENTS, StoreSpec
+from repro.disk.device import BlockDevice
+from repro.errors import ConfigError, ObjectNotFoundError
+from repro.units import MB
+
+
+class ShardedStore:
+    """Stripe keys over N inner object stores."""
+
+    def __init__(self, shards: Sequence[ObjectStore], *,
+                 placement: str = "hash",
+                 band_bytes: int = 1 * MB) -> None:
+        if len(shards) < 2:
+            raise ConfigError("a sharded store needs at least two shards")
+        if placement not in PLACEMENTS:
+            raise ConfigError(
+                f"unknown placement {placement!r}; choose from {PLACEMENTS}"
+            )
+        if band_bytes <= 0:
+            raise ConfigError("band_bytes must be positive")
+        self.shards = list(shards)
+        self.placement = placement
+        self.band_bytes = band_bytes
+        inner = {s.name for s in self.shards}
+        inner_name = inner.pop() if len(inner) == 1 else "mixed"
+        self.name = f"sharded[{len(self.shards)}x{inner_name}]"
+        #: key -> shard index; insertion order IS the composite key order.
+        self._shard_of: dict[str, int] = {}
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _place(self, key: str, size: int) -> int:
+        n = len(self.shards)
+        if self.placement == "hash":
+            return zlib.crc32(key.encode("utf-8")) % n
+        if self.placement == "round_robin":
+            index = self._rr_next % n
+            self._rr_next += 1
+            return index
+        # size_banded: bands double from band_bytes; the last shard
+        # takes everything beyond the top band.
+        band = 0
+        threshold = self.band_bytes
+        while size > threshold and band < n - 1:
+            band += 1
+            threshold *= 2
+        return band
+
+    def shard_for(self, key: str) -> int:
+        """Index of the shard holding ``key`` (raises when absent)."""
+        try:
+            return self._shard_of[key]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object {key!r}") from None
+
+    # ------------------------------------------------------------------
+    # ObjectStore interface
+    # ------------------------------------------------------------------
+    def put(self, key: str, *, size: int | None = None,
+            data: bytes | None = None) -> None:
+        total = len(data) if data is not None else int(size)  # type: ignore[arg-type]
+        # A duplicate put must fail with the inner backend's error, so
+        # route it to the owning shard rather than re-placing.
+        index = self._shard_of.get(key)
+        if index is None:
+            index = self._place(key, total)
+        if data is not None:
+            self.shards[index].put(key, data=data)
+        else:
+            self.shards[index].put(key, size=total)
+        self._shard_of[key] = index
+
+    def get(self, key: str, offset: int = 0,
+            length: int | None = None) -> bytes | None:
+        return self.shards[self.shard_for(key)].get(key, offset, length)
+
+    def overwrite(self, key: str, *, size: int | None = None,
+                  data: bytes | None = None) -> None:
+        shard = self.shards[self.shard_for(key)]
+        if data is not None:
+            shard.overwrite(key, data=data)
+        else:
+            shard.overwrite(key, size=size)
+
+    def delete(self, key: str) -> None:
+        self.shards[self.shard_for(key)].delete(key)
+        del self._shard_of[key]
+
+    def exists(self, key: str) -> bool:
+        return key in self._shard_of
+
+    def meta(self, key: str) -> ObjectMeta:
+        return self.shards[self.shard_for(key)].meta(key)
+
+    def keys(self) -> list[str]:
+        return list(self._shard_of)
+
+    def read_many(self, keys: list[str]) -> list[bytes | None]:
+        by_shard: dict[int, list[tuple[int, str]]] = {}
+        for pos, key in enumerate(keys):
+            by_shard.setdefault(self.shard_for(key), []).append((pos, key))
+        results: list[bytes | None] = [None] * len(keys)
+        for index, members in by_shard.items():
+            shard_results = self.shards[index].read_many(
+                [key for _, key in members]
+            )
+            for (pos, _), value in zip(members, shard_results):
+                results[pos] = value
+        return results
+
+    def object_extents(self, key: str) -> list[Extent]:
+        return self.shards[self.shard_for(key)].object_extents(key)
+
+    def devices(self) -> list[BlockDevice]:
+        out: list[BlockDevice] = []
+        for shard in self.shards:
+            out.extend(shard.devices())
+        return out
+
+    def free_bytes(self) -> int:
+        return sum(shard.free_bytes() for shard in self.shards)
+
+    def store_stats(self) -> StoreStats:
+        totals = StoreStats(objects=0, live_bytes=0, free_bytes=0,
+                            capacity=0)
+        for stats in self.shard_stats():
+            totals.objects += stats.objects
+            totals.live_bytes += stats.live_bytes
+            totals.free_bytes += stats.free_bytes
+            totals.capacity += stats.capacity
+        return totals
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> list[StoreStats]:
+        """Per-shard :class:`StoreStats`, for balance reporting."""
+        return [shard.store_stats() for shard in self.shards]
+
+
+@register_backend(
+    "sharded",
+    description="composite: stripes keys over N shards of an inner "
+                "backend (inner=<name>, default filesystem)",
+    options={"inner": str},
+    composite=True,
+)
+def _sharded_from_spec(spec: StoreSpec, device: BlockDevice) -> ObjectStore:
+    raise ConfigError(
+        "composite specs are desugared by build_store; this factory "
+        "is registered for listing and option declaration only"
+    )

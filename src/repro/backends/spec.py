@@ -1,0 +1,254 @@
+"""Declarative store construction: :class:`StoreSpec`.
+
+The experiment driver used to special-case every backend (a hard-coded
+``BACKENDS`` tuple, an if/elif chain in ``make_store``, and one-off
+per-backend fields leaking into ``ExperimentConfig``).  A ``StoreSpec``
+replaces all of that with one value: backend name, volume geometry,
+typed per-backend options, a shared :class:`~repro.disk.policy.
+DevicePolicy`, and an optional shard layout.  The registry
+(:mod:`repro.backends.registry`) turns a spec into a live store;
+nothing above the backends layer needs to import a backend class.
+
+Specs have a flag-friendly text form, used by ``--store``::
+
+    lfs
+    lfs:reorder=clook,batch=16
+    filesystem:index_kind=naive,size_hints=true
+    gfs:chunk_size=8M,volume=512M,shards=4,placement=hash
+
+The keys ``volume``, ``write_request``, ``store_data``, ``reorder``,
+``batch``, ``shards``, and ``placement`` set spec-level fields; every
+other key is a backend option, validated against the backend's
+declared option set at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.disk.policy import DEFAULT_POLICY, REORDER_KINDS, DevicePolicy
+from repro.errors import ConfigError
+from repro.units import DEFAULT_WRITE_REQUEST, GB, parse_size
+
+#: Placement policies the sharded composite understands.
+PLACEMENTS = ("hash", "round_robin", "size_banded")
+
+
+def _parse_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in ("1", "true", "yes", "on"):
+        return True
+    if text in ("0", "false", "no", "off"):
+        return False
+    raise ConfigError(f"bad boolean {value!r}")
+
+
+def _parse_bytes(value: Any) -> int:
+    if isinstance(value, bool):
+        raise ConfigError(f"bad size {value!r}")
+    if isinstance(value, int):
+        return value
+    return parse_size(str(value))
+
+
+def _parse_int(value: Any, key: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"bad integer for {key}: {value!r}") from None
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Everything needed to build one object store.
+
+    ``options`` holds per-backend knobs (validated and type-converted by
+    the registry); ``policy`` is the device submission policy every
+    backend threads into :meth:`BlockDevice.submit`; ``shards > 1``
+    wraps the backend in a :class:`~repro.backends.sharded.ShardedStore`
+    striping over ``shards`` equal sub-volumes.
+    """
+
+    backend: str
+    volume_bytes: int = 2 * GB
+    write_request: int = DEFAULT_WRITE_REQUEST
+    #: Keep written bytes on the device (marker analysis; test scale).
+    store_data: bool = False
+    policy: DevicePolicy = DEFAULT_POLICY
+    #: Per-backend options as a normalized (name, value) tuple; pass a
+    #: mapping, it is canonicalized (sorted by name) on construction.
+    options: tuple[tuple[str, Any], ...] = field(default=())
+    shards: int = 1
+    placement: str = "hash"
+    #: First size band for ``size_banded`` placement (bands double).
+    band_bytes: int = 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not self.backend:
+            raise ConfigError("StoreSpec needs a backend name")
+        if self.volume_bytes <= 0:
+            raise ConfigError("volume_bytes must be positive")
+        if self.write_request <= 0:
+            raise ConfigError("write_request must be positive")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {PLACEMENTS}"
+            )
+        if self.band_bytes <= 0:
+            raise ConfigError("band_bytes must be positive")
+        opts = self.options
+        if isinstance(opts, Mapping):
+            opts = tuple(sorted(opts.items()))
+        else:
+            opts = tuple(sorted((str(k), v) for k, v in opts))
+        names = [name for name, _ in opts]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate option in {names}")
+        object.__setattr__(self, "options", opts)
+
+    # ------------------------------------------------------------------
+    # Options
+    # ------------------------------------------------------------------
+    def options_dict(self) -> dict[str, Any]:
+        return dict(self.options)
+
+    def option(self, name: str, default: Any = None) -> Any:
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    def with_options(self, **updates: Any) -> "StoreSpec":
+        """A copy with options merged in (``None`` removes a key)."""
+        merged = self.options_dict()
+        for key, value in updates.items():
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        return replace(self, options=tuple(sorted(merged.items())))
+
+    # ------------------------------------------------------------------
+    # Shard layout
+    # ------------------------------------------------------------------
+    def shard_specs(self) -> list["StoreSpec"]:
+        """The sub-specs a sharded composite builds its shards from.
+
+        The volume splits evenly: N shards of ``volume_bytes // N`` keep
+        aggregate capacity (and therefore occupancy at a given workload)
+        comparable to the unsharded spec, so sharded-vs-single benches
+        are apples to apples.
+        """
+        if self.shards <= 1:
+            return [self]
+        per_shard = self.volume_bytes // self.shards
+        if per_shard <= 0:
+            raise ConfigError(
+                f"volume of {self.volume_bytes} bytes cannot split "
+                f"into {self.shards} shards"
+            )
+        return [replace(self, shards=1, volume_bytes=per_shard)
+                for _ in range(self.shards)]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly form, recorded verbatim in run results."""
+        return {
+            "backend": self.backend,
+            "volume_bytes": self.volume_bytes,
+            "write_request": self.write_request,
+            "store_data": self.store_data,
+            "policy": self.policy.to_dict(),
+            "options": {k: _jsonable(v) for k, v in self.options},
+            "shards": self.shards,
+            "placement": self.placement,
+            "band_bytes": self.band_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    # Text form
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, *, default_backend: str | None = None,
+              **defaults: Any) -> "StoreSpec":
+        """Parse ``backend:key=val,...`` (see the module docstring).
+
+        An empty backend part (``":reorder=clook"``) falls back to
+        ``default_backend``, so figure benches can apply one ``--store``
+        override across curves of different backends.  Keyword
+        ``defaults`` fill spec fields the text does not set — the text
+        always wins, so ``volume=8G`` in a spec survives a caller that
+        passes its own ``volume_bytes`` (e.g. the CLI's ``--volume``
+        default).
+        """
+        text = text.strip()
+        backend, _, tail = text.partition(":")
+        backend = backend.strip() or (default_backend or "")
+        if not backend:
+            raise ConfigError(f"store spec {text!r} names no backend")
+        fields: dict[str, Any] = {"backend": backend}
+        options: dict[str, Any] = {}
+        batch_size: int | None = None
+        reorder: str | None = None
+        for item in filter(None, (p.strip() for p in tail.split(","))):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not eq or not value:
+                raise ConfigError(
+                    f"bad store option {item!r}; expected key=value"
+                )
+            if key == "volume":
+                fields["volume_bytes"] = _parse_bytes(value)
+            elif key == "write_request":
+                fields["write_request"] = _parse_bytes(value)
+            elif key == "store_data":
+                fields["store_data"] = _parse_bool(value)
+            elif key == "reorder":
+                if value not in REORDER_KINDS:
+                    raise ConfigError(
+                        f"unknown reorder {value!r}; "
+                        f"choose from {REORDER_KINDS}"
+                    )
+                reorder = value
+            elif key == "batch":
+                batch_size = _parse_int(value, key)
+            elif key == "shards":
+                fields["shards"] = _parse_int(value, key)
+            elif key == "placement":
+                fields["placement"] = value
+            elif key == "band_bytes":
+                fields["band_bytes"] = _parse_bytes(value)
+            else:
+                options[key] = value
+        if batch_size is not None or reorder is not None:
+            fields["policy"] = DevicePolicy(
+                batch_size=batch_size if batch_size is not None else 0,
+                reorder=reorder or "none",
+            )
+        fields["options"] = options
+        for key, value in defaults.items():
+            fields.setdefault(key, value)
+        return cls(**fields)
+
+
+def _jsonable(value: Any) -> Any:
+    """Options may hold config objects; record something serializable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    for attr in ("to_dict", "_asdict"):
+        method = getattr(value, attr, None)
+        if callable(method):
+            return method()
+    if hasattr(value, "__dataclass_fields__"):
+        return {f: _jsonable(getattr(value, f))
+                for f in value.__dataclass_fields__}
+    return repr(value)

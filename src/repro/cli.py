@@ -4,9 +4,20 @@ Examples::
 
     python -m repro run --backend database --object-size 10M \\
         --volume 2G --occupancy 0.5 --ages 0,2,4,6,8,10
+    python -m repro run --store lfs:reorder=clook,batch=16 --shards 4 \\
+        --object-size 1M --volume 1G
     python -m repro compare --object-size 512K --volume 512M \\
         --occupancy 0.9 --ages 0,2,4 --json results.json
     python -m repro backends
+    python -m repro --list-backends
+
+``--store backend:key=val,...`` describes the store declaratively (see
+:class:`repro.backends.spec.StoreSpec`); spec-level keys are
+``volume``, ``write_request``, ``reorder``, ``batch``, ``shards``,
+``placement``, ``store_data`` (explicit spec keys win over the
+``--volume``/``--write-request`` flag defaults); everything else is a
+backend option validated by the registry.  ``--shards N`` stripes the
+chosen store over N sub-volumes.
 """
 
 from __future__ import annotations
@@ -14,8 +25,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 from repro.analysis.tables import render_series_table, render_table
+from repro.backends.registry import backend_descriptions
+from repro.backends.spec import StoreSpec
 from repro.core.experiment import (
     BACKENDS,
     ExperimentConfig,
@@ -63,22 +77,57 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--size-hints", action="store_true",
                         help="use the size-hint interface (filesystem)")
+    parser.add_argument("--store", metavar="SPEC", default=None,
+                        help="declarative store spec, e.g. "
+                             "lfs:reorder=clook,batch=16 (see --help text)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="stripe the store over N sub-volumes")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the results as JSON")
 
 
+def _store_spec_from(args: argparse.Namespace,
+                     backend: str) -> StoreSpec | None:
+    """The StoreSpec described by --store/--shards, or None.
+
+    An explicit backend inside ``--store`` wins over the subcommand's
+    backend; ``--store :key=val`` keeps it.  ``--volume``,
+    ``--write-request``, and ``--size-hints`` still apply as defaults;
+    spec-text keys (``volume=``, ``write_request=``) win over them.
+    """
+    if args.store is None and args.shards <= 0:
+        return None
+    spec = StoreSpec.parse(
+        args.store if args.store is not None else backend,
+        default_backend=backend,
+        volume_bytes=parse_size(args.volume),
+        write_request=parse_size(args.write_request),
+    )
+    if args.shards > 0:
+        spec = replace(spec, shards=args.shards)
+    if args.size_hints and spec.backend == "filesystem":
+        spec = spec.with_options(size_hints=True)
+    return spec
+
+
 def _config_from(args: argparse.Namespace,
                  backend: str) -> ExperimentConfig:
-    return ExperimentConfig(
-        backend=backend,
+    common = dict(
         sizes=_build_sizes(args),
-        volume_bytes=parse_size(args.volume),
         occupancy=args.occupancy,
         ages=args.ages,
         reads_per_sample=args.reads,
         seed=args.seed,
+    )
+    spec = _store_spec_from(args, backend)
+    if spec is not None:
+        return ExperimentConfig(store=spec, **common)
+    return ExperimentConfig(
+        backend=backend,
+        volume_bytes=parse_size(args.volume),
         write_request=parse_size(args.write_request),
         size_hints=args.size_hints,
+        **common,
     )
 
 
@@ -102,7 +151,7 @@ def _result_table(results: dict) -> str:
 def cmd_run(args: argparse.Namespace) -> int:
     """Age one backend and print its fragmentation/throughput tables."""
     result = run_experiment(_config_from(args, args.backend))
-    print(_result_table({args.backend: result}))
+    print(_result_table({result.backend: result}))
     print(f"\nbulk-load write throughput: "
           f"{result.bulk_load_write_mbps / MB:.2f} MB/s "
           f"({result.objects_loaded} objects, "
@@ -115,6 +164,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """Age several backends on one workload and print them side by side."""
+    if args.store and not args.store.strip().startswith(":"):
+        # A backend-naming spec would silently pin every column to one
+        # store and print a comparison that never ran.
+        print("compare: --store must not name a backend here; use "
+              "':key=val,...' so each --against curve keeps its own "
+              "backend (to pin one backend, use 'run')",
+              file=sys.stderr)
+        return 2
     results = {
         backend: run_experiment(_config_from(args, backend))
         for backend in args.against
@@ -129,16 +186,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_backends(_args: argparse.Namespace) -> int:
-    """List the available storage backends."""
-    descriptions = {
-        "filesystem": "NTFS-like: file per object + metadata database",
-        "database": "SQL-Server-like: out-of-row BLOBs, bulk logged",
-        "gfs": "GFS-style fixed chunks with record append",
-        "lfs": "log-structured segments with a cleaner",
-    }
-    rows = [[name, descriptions[name]] for name in BACKENDS]
+    """List the registered storage backends."""
+    rows = [[name, desc] for name, desc in backend_descriptions().items()]
     print(render_table("Available backends", ["name", "description"],
                        rows))
+    return 0
+
+
+def cmd_list_backends() -> int:
+    """Registry self-check: one ``name: description`` line per backend."""
+    for name, desc in backend_descriptions().items():
+        print(f"{name}: {desc}")
     return 0
 
 
@@ -149,7 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Aging experiments from 'Fragmentation in Large "
                     "Object Repositories' (CIDR 2007).",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--list-backends", action="store_true",
+                        help="print the backend registry and exit")
+    sub = parser.add_subparsers(dest="command", required=False)
 
     run_parser = sub.add_parser("run", help="age one backend")
     run_parser.add_argument("--backend", choices=BACKENDS,
@@ -177,6 +237,10 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_backends:
+        return cmd_list_backends()
+    if args.command is None:
+        parser.error("a subcommand is required (run, compare, backends)")
     return args.func(args)
 
 

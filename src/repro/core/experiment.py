@@ -15,15 +15,14 @@ to single-digit GB so a run takes seconds, not a week.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field
 
 from repro.alloc.freelist import INDEX_KINDS
 
 from repro.backends.base import ObjectStore
-from repro.backends.blob_backend import BlobBackend
-from repro.backends.file_backend import FileBackend
-from repro.backends.gfs_backend import GfsChunkBackend
-from repro.backends.lfs_backend import LfsBackend
+from repro.backends.registry import backend_names, build_store, resolve_spec
+from repro.backends.spec import StoreSpec
 from repro.core.fragmentation import fragment_report
 from repro.core.results import AgeSample, RunResult
 from repro.core.throughput import measure, measure_read_throughput
@@ -35,22 +34,35 @@ from repro.core.workload import (
     churn_to_age,
 )
 from repro.db.database import DbConfig
-from repro.disk.device import BlockDevice
-from repro.disk.geometry import scaled_disk
 from repro.errors import ConfigError
 from repro.fs.filesystem import FsConfig
 from repro.rng import substream
 from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 
-BACKENDS = ("filesystem", "database", "gfs", "lfs")
+#: Every registered backend, derived from the registry — not a
+#: hand-maintained tuple.  Includes the ``sharded`` composite.
+BACKENDS = backend_names()
 
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Everything needed to reproduce one curve of one figure."""
+    """Everything needed to reproduce one curve of one figure.
 
-    backend: str
-    sizes: SizeDistribution
+    Two construction paths:
+
+    * **Spec path** (preferred): pass ``store=StoreSpec(...)`` — the
+      spec names the backend, volume, device policy, per-backend
+      options, and shard layout; ``backend``/``volume_bytes``/
+      ``write_request``/``store_data`` are derived from it.
+    * **Legacy path**: pass ``backend=`` plus the historical one-off
+      fields (``index_kind``, ``fs_config``, ``db_config``,
+      ``size_hints``).  :meth:`resolved_spec` folds them into the
+      equivalent :class:`StoreSpec`, so both paths build identical
+      stores.
+    """
+
+    backend: str = ""
+    sizes: SizeDistribution | None = None
     volume_bytes: int = 2 * GB
     occupancy: float = 0.5
     write_request: int = DEFAULT_WRITE_REQUEST
@@ -60,17 +72,43 @@ class ExperimentConfig:
     seed: int = 42
     #: Store real bytes on the device (marker analysis; test scale only).
     store_data: bool = False
-    #: Use the size-hint interface (filesystem backend only).
+    #: Use the size-hint interface (filesystem backend only).  Legacy;
+    #: spec path: option ``size_hints``.
     size_hints: bool = False
     #: Free-space engine ablation: "tiered"/"naive" overrides the
     #: filesystem backend's index; None keeps the fs_config default.
+    #: Legacy; spec path: option ``index_kind``.
     index_kind: str | None = None
     fs_config: FsConfig | None = None
     db_config: DbConfig | None = None
     label: str = ""
+    #: Declarative store description; when set, it is authoritative for
+    #: everything the legacy per-backend fields used to carry.
+    store: StoreSpec | None = None
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
+        if self.sizes is None:
+            raise ConfigError("a size distribution is required")
+        if self.store is not None:
+            if self.backend and self.backend != self.store.backend:
+                raise ConfigError(
+                    f"backend {self.backend!r} conflicts with store spec "
+                    f"backend {self.store.backend!r}"
+                )
+            if (self.index_kind is not None or self.fs_config is not None
+                    or self.db_config is not None or self.size_hints):
+                raise ConfigError(
+                    "per-backend knobs (index_kind/fs_config/db_config/"
+                    "size_hints) go inside the StoreSpec options when "
+                    "store= is given"
+                )
+            object.__setattr__(self, "backend", self.store.backend)
+            object.__setattr__(self, "volume_bytes",
+                               self.store.volume_bytes)
+            object.__setattr__(self, "write_request",
+                               self.store.write_request)
+            object.__setattr__(self, "store_data", self.store.store_data)
+        elif self.backend not in BACKENDS:
             raise ConfigError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
             )
@@ -85,8 +123,39 @@ class ExperimentConfig:
     def display_label(self) -> str:
         if self.label:
             return self.label
-        return (f"{self.backend}/{self.sizes}"
+        shards = self.store.shards if self.store is not None else 1
+        backend = self.backend if shards <= 1 else \
+            f"{self.backend}x{shards}"
+        return (f"{backend}/{self.sizes}"
                 f"/{fmt_size(self.volume_bytes)}@{self.occupancy:.0%}")
+
+    def resolved_spec(self) -> StoreSpec:
+        """The :class:`StoreSpec` this configuration builds.
+
+        The spec path returns ``store`` verbatim; the legacy path folds
+        the historical one-off fields into equivalent options, so the
+        two paths are interchangeable at the registry.
+        """
+        if self.store is not None:
+            return self.store
+        options: dict = {}
+        if self.backend == "filesystem":
+            if self.fs_config is not None:
+                options["fs_config"] = self.fs_config
+            if self.index_kind is not None:
+                options["index_kind"] = self.index_kind
+            if self.size_hints:
+                options["size_hints"] = True
+        elif self.backend == "database":
+            if self.db_config is not None:
+                options["db_config"] = self.db_config
+        return StoreSpec(
+            backend=self.backend,
+            volume_bytes=self.volume_bytes,
+            write_request=self.write_request,
+            store_data=self.store_data,
+            options=options,
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -100,46 +169,47 @@ class ExperimentConfig:
             "seed": self.seed,
             "size_hints": self.size_hints,
             "index_kind": self.effective_index_kind(),
+            # The fully resolved spec (converted options, desugared
+            # composite, device policy, shard layout) so a result file
+            # alone attributes any ablation.
+            "store": resolve_spec(self.resolved_spec()).to_dict(),
         }
 
     def effective_index_kind(self) -> str | None:
-        """The engine the filesystem backend will actually run.
+        """The free-space engine the store will actually run.
 
         None for backends that do not use the free-extent index at all,
-        so recorded run configs never misattribute an ablation.
+        so recorded run configs never misattribute an ablation.  Follows
+        the spec path too: a sharded filesystem spec reports the engine
+        its shards run.
         """
-        if self.backend != "filesystem":
+        spec = resolve_spec(self.resolved_spec())
+        if spec.backend != "filesystem":
             return None
-        if self.index_kind is not None:
-            return self.index_kind
-        return (self.fs_config or FsConfig()).index_kind
+        kind = spec.option("index_kind")
+        if kind is not None:
+            return kind
+        fs_config = spec.option("fs_config")
+        return (fs_config or FsConfig()).index_kind
 
 
 def make_store(config: ExperimentConfig) -> ObjectStore:
-    """Instantiate the backend named by the configuration."""
-    device = BlockDevice(scaled_disk(config.volume_bytes),
-                         store_data=config.store_data)
-    if config.backend == "filesystem":
-        fs_config = config.fs_config
-        if config.index_kind is not None:
-            fs_config = replace(fs_config or FsConfig(),
-                                index_kind=config.index_kind)
-        return FileBackend(
-            device,
-            fs_config=fs_config,
-            write_request=config.write_request,
-            size_hints=config.size_hints,
-        )
-    if config.backend == "database":
-        db_config = config.db_config or DbConfig(
-            write_request=config.write_request
-        )
-        return BlobBackend(device, db_config=db_config)
-    if config.backend == "gfs":
-        return GfsChunkBackend(device, write_request=config.write_request)
-    if config.backend == "lfs":
-        return LfsBackend(device, write_request=config.write_request)
-    raise ConfigError(f"unknown backend {config.backend!r}")
+    """Deprecated shim: build the store a configuration describes.
+
+    New code should go through the registry::
+
+        from repro.backends import build_store
+        store = build_store(config.resolved_spec())
+
+    Kept because the seed's driver exposed it publicly; emits a
+    :class:`DeprecationWarning` and builds the identical store.
+    """
+    warnings.warn(
+        "make_store(config) is deprecated; use "
+        "repro.backends.build_store(config.resolved_spec())",
+        DeprecationWarning, stacklevel=2,
+    )
+    return build_store(config.resolved_spec())
 
 
 @dataclass
@@ -159,7 +229,7 @@ class ExperimentRunner:
 
     def run(self) -> RunResult:
         cfg = self.config
-        self.store = store = make_store(cfg)
+        self.store = store = build_store(cfg.resolved_spec())
         spec = WorkloadSpec(
             sizes=cfg.sizes,
             target_occupancy=cfg.occupancy,

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 
 from repro.disk.geometry import DiskGeometry
 from repro.disk.iostats import IoStats
+from repro.disk.policy import DEFAULT_POLICY, DevicePolicy
 from repro.errors import ConfigError
 from repro.alloc.extent import Extent
 from repro.struct.blockedlist import BlockedList
@@ -279,12 +280,18 @@ class BlockDevice:
         request's end is treated as sequential (no seek, no rotational
         delay) — drives coalesce near-sequential access via track
         buffering.
+    policy:
+        Default :class:`~repro.disk.policy.DevicePolicy` for batches
+        submitted without an explicit ``reorder`` argument.  The default
+        policy reproduces the historical behaviour (submission order).
     """
 
     def __init__(self, geometry: DiskGeometry, *, store_data: bool = False,
-                 sequential_window: int = 64 * 1024) -> None:
+                 sequential_window: int = 64 * 1024,
+                 policy: DevicePolicy | None = None) -> None:
         self.geometry = geometry
         self.stats = IoStats()
+        self.policy = policy or DEFAULT_POLICY
         self._store = _SegmentStore() if store_data else None
         self._head = 0
         self._sequential_window = sequential_window
@@ -346,18 +353,24 @@ class BlockDevice:
     # Timed I/O
     # ------------------------------------------------------------------
     def submit(self, batch: list[IoRequest], *,
-               reorder: bool = False) -> list[bytes | None]:
+               reorder: bool | None = None) -> list[bytes | None]:
         """Serve a batch of requests; one ``IoStats`` record per batch.
 
         Costs are charged with the head chaining through the batch in
         service order (``reorder=True`` picks elevator order, otherwise
         submission order), so a non-reordered batch costs exactly what
-        the same requests cost submitted one at a time.  Returns one
-        entry per request in submission order: read results (when
-        content storage is on) or ``None``.  An empty batch is a no-op.
+        the same requests cost submitted one at a time.  ``reorder=None``
+        (the default) defers to the device's
+        :class:`~repro.disk.policy.DevicePolicy`, which is how backends
+        thread a spec-level scheduling choice through every submission.
+        Returns one entry per request in submission order: read results
+        (when content storage is on) or ``None``.  An empty batch is a
+        no-op.
         """
         if not batch:
             return []
+        if reorder is None:
+            reorder = self.policy.reorder_flag
         if len(batch) == 1:
             # Fast path for the single-request wrappers (read_extents /
             # write_extents sit on every experiment's hot path): same
@@ -423,6 +436,19 @@ class BlockDevice:
                 store.write(ext.start, req.data[cursor: cursor + ext.length])
                 cursor += ext.length
         return None
+
+    def submit_policy(self, requests: list[IoRequest]) -> list[bytes | None]:
+        """Submit a request stream under the device's policy.
+
+        The policy's ``batch_size`` splits the stream into batches and
+        its ``reorder`` discipline orders each batch; results come back
+        aligned with ``requests``.  This is the bulk path the backends'
+        appends and ``read_many`` sweeps use.
+        """
+        out: list[bytes | None] = []
+        for chunk in self.policy.chunks(requests):
+            out.extend(self.submit(list(chunk)))
+        return out
 
     def read_extents(self, extents: list[Extent]) -> bytes | None:
         """Read a list of extents as one request; returns data if stored."""

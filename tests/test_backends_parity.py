@@ -1,12 +1,14 @@
 """Cross-backend contract tests: every backend honours ObjectStore.
 
-One parametrized suite runs against all four backends, checking the
-get/put semantics the experiment driver relies on.  Backend-specific
-behaviour lives in the dedicated test modules.
+One parametrized suite runs against all four backends plus a 3-shard
+:class:`ShardedStore` composite, checking the get/put semantics the
+experiment driver relies on.  Backend-specific behaviour lives in the
+dedicated test modules.
 """
 
 import pytest
 
+from repro.backends import StoreSpec, build_store
 from repro.backends.base import ObjectStore
 from repro.backends.blob_backend import BlobBackend
 from repro.backends.file_backend import FileBackend
@@ -17,7 +19,7 @@ from repro.disk.geometry import scaled_disk
 from repro.errors import ObjectNotFoundError
 from repro.units import KB, MB
 
-BACKENDS = ["filesystem", "database", "gfs", "lfs"]
+BACKENDS = ["filesystem", "database", "gfs", "lfs", "sharded"]
 
 
 def make_store(kind: str, *, store_data: bool = False,
@@ -31,6 +33,12 @@ def make_store(kind: str, *, store_data: bool = False,
         return GfsChunkBackend(device, chunk_size=8 * MB)
     if kind == "lfs":
         return LfsBackend(device, segment_size=2 * MB)
+    if kind == "sharded":
+        # Three filesystem shards, each of `capacity`, so per-shard
+        # headroom matches what the other backends get.
+        return build_store(StoreSpec("filesystem",
+                                     volume_bytes=3 * capacity,
+                                     store_data=store_data, shards=3))
     raise AssertionError(kind)
 
 
@@ -58,6 +66,29 @@ class TestProtocol:
         for i in range(5):
             store.put(f"k{i}", size=64 * KB)
         assert sorted(store.keys()) == [f"k{i}" for i in range(5)]
+
+    def test_keys_insertion_order(self, store):
+        """The protocol's ordering contract: keys() is insertion order;
+        overwrite keeps a key's position, delete + fresh put moves it
+        to the end.  Every backend (including the composite) must agree
+        so reports and workloads are reproducible across backends."""
+        for key in ("c", "a", "b"):
+            store.put(key, size=64 * KB)
+        assert store.keys() == ["c", "a", "b"]
+        store.overwrite("a", size=96 * KB)
+        assert store.keys() == ["c", "a", "b"]
+        store.delete("c")
+        assert store.keys() == ["a", "b"]
+        store.put("c", size=64 * KB)
+        assert store.keys() == ["a", "b", "c"]
+
+    def test_read_many_matches_sequential_gets(self, content_store):
+        payloads = {f"k{i}": bytes([i + 1]) * (32 * KB) for i in range(6)}
+        for key, payload in payloads.items():
+            content_store.put(key, data=payload)
+        keys = list(payloads)[::-1]
+        assert content_store.read_many(keys) == \
+            [content_store.get(k) for k in keys]
 
     def test_missing_object_raises(self, store):
         with pytest.raises(ObjectNotFoundError):

@@ -15,8 +15,18 @@ class TestParser:
             assert name in out
 
     def test_requires_command(self):
+        # --list-backends is a valid bare invocation, so the "pick a
+        # subcommand" error now comes from main() rather than argparse.
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            main([])
+
+    def test_list_backends(self, capsys):
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        names = [line.split(":", 1)[0] for line in out.splitlines() if line]
+        assert len(names) >= 5
+        for name in ("filesystem", "database", "gfs", "lfs", "sharded"):
+            assert name in names
 
     def test_bad_ages_rejected(self):
         with pytest.raises(SystemExit):

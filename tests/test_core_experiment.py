@@ -70,11 +70,14 @@ class TestExperimentConfig:
         assert "10M" in cfg.display_label()
 
     def test_make_store_all_backends(self):
+        # make_store is the deprecated shim; it must still build every
+        # registered backend (including the sharded composite).
         for backend in BACKENDS:
             cfg = ExperimentConfig(backend=backend,
                                    sizes=ConstantSize(1 * MB),
-                                   volume_bytes=64 * MB)
-            store = make_store(cfg)
+                                   volume_bytes=96 * MB)
+            with pytest.warns(DeprecationWarning):
+                store = make_store(cfg)
             assert store.name
 
 
@@ -199,12 +202,14 @@ class TestIndexKindAblation:
     def test_make_store_honours_index_kind(self):
         from repro.alloc.freelist import FreeExtentIndex
         from repro.alloc.naive import NaiveFreeExtentIndex
+        from repro.backends import build_store
 
         base = dict(backend="filesystem", sizes=ConstantSize(64 * KB),
                     volume_bytes=64 * MB)
-        tiered = make_store(ExperimentConfig(**base))
+        tiered = build_store(ExperimentConfig(**base).resolved_spec())
         assert isinstance(tiered.fs.free_index, FreeExtentIndex)
-        naive = make_store(ExperimentConfig(**base, index_kind="naive"))
+        naive = build_store(
+            ExperimentConfig(**base, index_kind="naive").resolved_spec())
         assert isinstance(naive.fs.free_index, NaiveFreeExtentIndex)
 
     def test_index_kind_validated(self):

@@ -8,6 +8,7 @@ balances, and the marker scanner agrees with the extent maps.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backends import StoreSpec, build_store
 from repro.backends.blob_backend import BlobBackend
 from repro.backends.file_backend import FileBackend
 from repro.disk.device import BlockDevice
@@ -65,6 +66,28 @@ def test_filesystem_store_byte_exact(script):
     live = sum(r.allocated_bytes for r in fs.table)
     nibbles = fs.metadata_traffic.outstanding_bytes
     assert fs.free_bytes + live + nibbles == fs.data_capacity
+
+
+@given(store_scripts())
+@settings(max_examples=25, deadline=None)
+def test_sharded_store_byte_exact(script):
+    """The composite honours the same heavyweight invariant: any op
+    sequence reads back byte-exact, per-shard filesystem invariants
+    hold, and composite stats equal the sum of shard stats."""
+    store = build_store(StoreSpec("filesystem", volume_bytes=96 * MB,
+                                  store_data=True, shards=3))
+    model = run_script(store, script)
+    for key, payload in model.items():
+        assert store.get(key) == payload
+    assert store.keys() == list(model)  # insertion order survives
+    for shard in store.shards:
+        shard.fs.check_invariants()
+    per = store.shard_stats()
+    total = store.store_stats()
+    assert total.objects == sum(s.objects for s in per) == len(model)
+    assert total.live_bytes == sum(s.live_bytes for s in per)
+    assert total.free_bytes == sum(s.free_bytes for s in per)
+    assert total.capacity == sum(s.capacity for s in per)
 
 
 @given(store_scripts())

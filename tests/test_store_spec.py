@@ -1,0 +1,347 @@
+"""Tests for the store-spec API: DevicePolicy, StoreSpec, the backend
+registry, and the legacy ExperimentConfig/make_store deprecation shim.
+"""
+
+import pytest
+
+from repro.alloc.extent import Extent
+from repro.backends import (
+    BlobBackend,
+    FileBackend,
+    GfsChunkBackend,
+    LfsBackend,
+    ShardedStore,
+    StoreSpec,
+    backend_descriptions,
+    backend_names,
+    build_store,
+    resolve_spec,
+)
+from repro.core.experiment import ExperimentConfig, make_store, run_experiment
+from repro.core.workload import ConstantSize
+from repro.db.database import DbConfig
+from repro.disk.device import BlockDevice, IoRequest
+from repro.disk.geometry import scaled_disk
+from repro.disk.policy import DevicePolicy
+from repro.errors import ConfigError
+from repro.fs.filesystem import FsConfig
+from repro.units import KB, MB
+
+SIMPLE_CLASSES = {
+    "filesystem": FileBackend,
+    "database": BlobBackend,
+    "gfs": GfsChunkBackend,
+    "lfs": LfsBackend,
+}
+
+
+class TestDevicePolicy:
+    def test_defaults_are_historical_behaviour(self):
+        policy = DevicePolicy()
+        assert policy.batch_size == 0
+        assert policy.reorder == "none"
+        assert not policy.reorder_flag
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DevicePolicy(batch_size=-1)
+        with pytest.raises(ConfigError):
+            DevicePolicy(reorder="sstf")
+
+    def test_chunks(self):
+        items = list(range(10))
+        assert [list(c) for c in DevicePolicy().chunks(items)] == [items]
+        assert [list(c) for c in
+                DevicePolicy(batch_size=4).chunks(items)] == \
+            [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert list(DevicePolicy(batch_size=4).chunks([])) == []
+
+    def test_round_trip_dict(self):
+        policy = DevicePolicy(batch_size=16, reorder="clook")
+        assert DevicePolicy.from_dict(policy.to_dict()) == policy
+
+    def test_device_submit_defers_to_policy(self):
+        """A clook policy reorders batches submitted without an explicit
+        reorder argument; an explicit argument still wins."""
+        def scattered_batch():
+            offsets = [40 * MB, 2 * MB, 30 * MB, 6 * MB, 20 * MB,
+                       10 * MB, 50 * MB, 1 * MB]
+            return [IoRequest(False, [Extent(off, 64 * KB)])
+                    for off in offsets]
+
+        plain = BlockDevice(scaled_disk(64 * MB))
+        plain.submit(scattered_batch())
+        elevator = BlockDevice(scaled_disk(64 * MB),
+                               policy=DevicePolicy(reorder="clook"))
+        elevator.submit(scattered_batch())
+        assert elevator.clock_s < plain.clock_s
+        forced = BlockDevice(scaled_disk(64 * MB),
+                             policy=DevicePolicy(reorder="clook"))
+        forced.submit(scattered_batch(), reorder=False)
+        assert forced.clock_s == plain.clock_s
+
+    def test_submit_policy_chunks_batches(self):
+        device = BlockDevice(scaled_disk(64 * MB),
+                             policy=DevicePolicy(batch_size=3))
+        requests = [IoRequest(True, [Extent(i * MB, 64 * KB)])
+                    for i in range(7)]
+        device.submit_policy(requests)
+        # ceil(7 / 3) = 3 batches -> 3 stats records.
+        assert device.stats.requests == 3
+
+
+class TestStoreSpec:
+    def test_parse_full(self):
+        spec = StoreSpec.parse(
+            "lfs:reorder=clook,batch=8,segment_size=2M,"
+            "volume=96M,shards=3,placement=round_robin"
+        )
+        assert spec.backend == "lfs"
+        assert spec.policy == DevicePolicy(batch_size=8, reorder="clook")
+        assert spec.option("segment_size") == "2M"  # converted at build
+        assert spec.volume_bytes == 96 * MB
+        assert spec.shards == 3
+        assert spec.placement == "round_robin"
+
+    def test_parse_default_backend(self):
+        spec = StoreSpec.parse(":reorder=clook",
+                               default_backend="database")
+        assert spec.backend == "database"
+        with pytest.raises(ConfigError):
+            StoreSpec.parse(":reorder=clook")
+
+    def test_parse_rejects_bad_items(self):
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:segment_size")
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:reorder=sstf")
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:placement=zodiac")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StoreSpec("lfs", volume_bytes=0)
+        with pytest.raises(ConfigError):
+            StoreSpec("lfs", shards=0)
+        with pytest.raises(ConfigError):
+            StoreSpec("")
+
+    def test_shard_specs_split_volume(self):
+        spec = StoreSpec("lfs", volume_bytes=96 * MB, shards=3)
+        subs = spec.shard_specs()
+        assert len(subs) == 3
+        assert all(s.volume_bytes == 32 * MB for s in subs)
+        assert all(s.shards == 1 for s in subs)
+
+    def test_to_dict_records_policy_and_layout(self):
+        spec = StoreSpec("lfs", shards=4,
+                         policy=DevicePolicy(batch_size=16,
+                                             reorder="clook"))
+        payload = spec.to_dict()
+        assert payload["policy"] == {"batch_size": 16,
+                                     "reorder": "clook"}
+        assert payload["shards"] == 4
+        assert payload["placement"] == "hash"
+
+
+class TestRegistry:
+    def test_registry_lists_all_backends(self):
+        names = backend_names()
+        assert len(names) >= 5
+        for expected in ("filesystem", "database", "gfs", "lfs",
+                         "sharded"):
+            assert expected in names
+        descriptions = backend_descriptions()
+        assert all(descriptions[name] for name in names)
+
+    @pytest.mark.parametrize("name", sorted(SIMPLE_CLASSES))
+    def test_build_store_every_backend(self, name):
+        store = build_store(StoreSpec(name, volume_bytes=64 * MB))
+        assert isinstance(store, SIMPLE_CLASSES[name])
+        assert store.device.policy == DevicePolicy()
+
+    def test_build_store_converts_options(self):
+        store = build_store(
+            StoreSpec.parse("lfs:segment_size=2M,volume=64M"))
+        assert store.segment_size == 2 * MB
+
+    def test_build_store_threads_policy(self):
+        spec = StoreSpec.parse("gfs:chunk_size=8M,reorder=clook,batch=4,"
+                               "volume=64M")
+        store = build_store(spec)
+        assert store.device.policy == DevicePolicy(batch_size=4,
+                                                   reorder="clook")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            build_store(StoreSpec("oracle"))
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigError):
+            build_store(StoreSpec("lfs", volume_bytes=64 * MB,
+                                  options={"chunk_size": 8 * MB}))
+
+    def test_object_option_type_checked(self):
+        with pytest.raises(ConfigError):
+            build_store(StoreSpec("filesystem", volume_bytes=64 * MB,
+                                  options={"fs_config": "naive"}))
+
+    def test_sharded_pseudo_backend_desugars(self):
+        spec = resolve_spec(
+            StoreSpec.parse("sharded:inner=gfs,chunk_size=8M,volume=64M"))
+        assert spec.backend == "gfs"
+        assert spec.shards == 2  # composite implies at least two
+        store = build_store(
+            StoreSpec.parse("sharded:inner=gfs,chunk_size=8M,volume=64M"))
+        assert isinstance(store, ShardedStore)
+        assert all(isinstance(s, GfsChunkBackend) for s in store.shards)
+
+    def test_sharded_does_not_nest(self):
+        with pytest.raises(ConfigError):
+            build_store(StoreSpec.parse("sharded:inner=sharded"))
+
+    def test_shards_wrap_any_backend(self):
+        store = build_store(StoreSpec("lfs", volume_bytes=96 * MB,
+                                      shards=3))
+        assert isinstance(store, ShardedStore)
+        assert len(store.shards) == 3
+
+
+def _sizes():
+    return ConstantSize(256 * KB)
+
+
+class TestDeprecationShim:
+    """Legacy ExperimentConfig fields + bare make_store still build
+    identical stores, with a DeprecationWarning."""
+
+    LEGACY = [
+        dict(backend="filesystem"),
+        dict(backend="filesystem", index_kind="naive", size_hints=True),
+        dict(backend="filesystem", fs_config=FsConfig(index_kind="naive")),
+        dict(backend="database"),
+        dict(backend="database", db_config=DbConfig(write_request=128 * KB)),
+        dict(backend="gfs"),
+        dict(backend="lfs"),
+    ]
+
+    @pytest.mark.parametrize("legacy", LEGACY,
+                             ids=lambda d: "-".join(map(str, d.values())))
+    def test_shim_builds_identical_store(self, legacy):
+        config = ExperimentConfig(sizes=_sizes(), volume_bytes=64 * MB,
+                                  **legacy)
+        with pytest.warns(DeprecationWarning):
+            shimmed = make_store(config)
+        direct = build_store(config.resolved_spec())
+        assert type(shimmed) is type(direct)
+        assert shimmed.name == direct.name
+
+    def test_legacy_and_spec_paths_agree(self):
+        legacy = ExperimentConfig(backend="filesystem", sizes=_sizes(),
+                                  volume_bytes=64 * MB,
+                                  index_kind="naive", size_hints=True)
+        via_spec = ExperimentConfig(
+            store=StoreSpec("filesystem", volume_bytes=64 * MB,
+                            options={"index_kind": "naive",
+                                     "size_hints": True}),
+            sizes=_sizes(), size_hints=False,
+        )
+        assert legacy.to_dict()["store"] == via_spec.to_dict()["store"]
+        assert legacy.effective_index_kind() == \
+            via_spec.effective_index_kind() == "naive"
+        a = build_store(legacy.resolved_spec())
+        b = build_store(via_spec.resolved_spec())
+        assert type(a) is type(b)
+        assert type(a.fs.free_index) is type(b.fs.free_index)
+
+    def test_spec_path_rejects_legacy_knobs(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(store=StoreSpec("filesystem"),
+                             sizes=_sizes(), index_kind="naive")
+        with pytest.raises(ConfigError):
+            ExperimentConfig(store=StoreSpec("lfs"), backend="gfs",
+                             sizes=_sizes())
+
+    def test_spec_path_derives_legacy_fields(self):
+        spec = StoreSpec("lfs", volume_bytes=96 * MB,
+                         write_request=128 * KB, shards=3)
+        config = ExperimentConfig(store=spec, sizes=_sizes())
+        assert config.backend == "lfs"
+        assert config.volume_bytes == 96 * MB
+        assert config.write_request == 128 * KB
+
+
+class TestRunRecords:
+    def test_to_dict_serializes_resolved_spec(self):
+        config = ExperimentConfig(
+            store=StoreSpec.parse(
+                "lfs:reorder=clook,batch=16,volume=96M,shards=3"),
+            sizes=_sizes(),
+        )
+        record = config.to_dict()["store"]
+        assert record["backend"] == "lfs"
+        assert record["shards"] == 3
+        assert record["policy"] == {"batch_size": 16, "reorder": "clook"}
+
+    def test_effective_index_kind_through_sharded_spec(self):
+        config = ExperimentConfig(
+            store=StoreSpec("filesystem", volume_bytes=96 * MB, shards=3,
+                            options={"index_kind": "naive"}),
+            sizes=_sizes(),
+        )
+        assert config.effective_index_kind() == "naive"
+        lfs = ExperimentConfig(store=StoreSpec("lfs"), sizes=_sizes())
+        assert lfs.effective_index_kind() is None
+
+    def test_experiment_runs_over_sharded_spec(self):
+        config = ExperimentConfig(
+            store=StoreSpec("filesystem", volume_bytes=96 * MB, shards=3),
+            sizes=_sizes(), occupancy=0.3, ages=(0.0, 1.0),
+            reads_per_sample=4, seed=5,
+        )
+        result = run_experiment(config)
+        assert len(result.samples) == 2
+        assert all(s.read_mbps > 0 for s in result.samples)
+        assert result.config["store"]["shards"] == 3
+
+
+READ_MANY_SPECS = [
+    "filesystem:volume=64M",
+    "database:volume=64M",
+    "gfs:volume=64M,chunk_size=8M",
+    "lfs:volume=64M,segment_size=2M",
+    "filesystem:volume=96M,shards=3",
+]
+
+
+class TestReadMany:
+    @pytest.mark.parametrize("text", READ_MANY_SPECS)
+    def test_content_matches_get(self, text):
+        store = build_store(StoreSpec.parse(text, store_data=True))
+        payloads = {f"k{i}": bytes([i + 1]) * ((i + 1) * 24 * KB)
+                    for i in range(6)}
+        for key, payload in payloads.items():
+            store.put(key, data=payload)
+        keys = list(payloads)[::-1]  # scattered, non-insertion order
+        results = store.read_many(keys)
+        assert results == [store.get(k) for k in keys]
+        assert results == [payloads[k] for k in keys]
+
+    @pytest.mark.parametrize("text", READ_MANY_SPECS)
+    def test_policy_never_changes_content(self, text):
+        store = build_store(StoreSpec.parse(
+            text, store_data=True,
+            policy=DevicePolicy(batch_size=2, reorder="clook")))
+        payloads = {f"k{i}": bytes([i + 1]) * (32 * KB) for i in range(5)}
+        for key, payload in payloads.items():
+            store.put(key, data=payload)
+        keys = list(payloads)[::-1]
+        assert store.read_many(keys) == [payloads[k] for k in keys]
+
+    def test_read_many_charges_device_time(self):
+        store = build_store(StoreSpec.parse("lfs:volume=64M"))
+        for i in range(4):
+            store.put(f"k{i}", size=256 * KB)
+        before = sum(d.clock_s for d in store.devices())
+        assert store.read_many([f"k{i}" for i in range(4)]) == [None] * 4
+        assert sum(d.clock_s for d in store.devices()) > before
