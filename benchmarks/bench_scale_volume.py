@@ -31,9 +31,18 @@ implementations):
   and the elevator shortens them further on the scattered aged-read
   stream — the multi-volume + request-scheduling study the ROADMAP
   calls for.
+* ``checkpoint_resume`` — the persistence subsystem's parity check,
+  run as a bench so CI smokes it and the committed baseline records
+  the checkpoint cost: an aging run is checkpointed at every sampled
+  age, killed right after the mid-run checkpoint, and resumed; the
+  resumed run record must equal the uninterrupted baseline **exactly**
+  (every fragmentation/throughput/occupancy sample — the bench raises
+  on any divergence).  Reported numbers: checkpoint size and
+  save/resume host time for the tiered and naive engines and a
+  3-shard composite.
 
 Results go to ``BENCH_scale_volume.json`` (schema
-``bench-scale-volume/3``, documented in ``benchmarks/README.md``).
+``bench-scale-volume/4``, documented in ``benchmarks/README.md``).
 
 Usage::
 
@@ -51,6 +60,7 @@ import argparse
 import json
 import platform
 import random
+import tempfile
 import time
 from pathlib import Path
 
@@ -91,8 +101,12 @@ AGING_READ_BATCH = 16
 #: Overwrites per loaded object before the read sweep (storage age).
 AGING_CHURN_AGE = 2
 
+RESUME_VOLUME = 256 * MB
+QUICK_RESUME_VOLUME = 64 * MB
+RESUME_AGES = (0.0, 1.0, 2.0)
+
 SCENARIOS = ("fs_churn", "segment_store", "batched_writes",
-             "sharded_aging")
+             "sharded_aging", "checkpoint_resume")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -305,6 +319,79 @@ def run_sharded_aging(volume: int, seed: int = 17) -> list[dict]:
     return rows
 
 
+def run_checkpoint_resume(volume: int, seed: int = 23) -> list[dict]:
+    """Kill an aging run after its mid-run checkpoint and resume it.
+
+    The resumed run record must reproduce the uninterrupted baseline
+    byte for byte (``RunResult.to_dict()`` equality); a divergence
+    raises, so the CI smoke of this scenario is the regression gate.
+    The reported numbers are the cost side: checkpoint directory size
+    and host seconds spent saving and resuming.
+    """
+    from repro.core.experiment import ExperimentConfig, ExperimentRunner
+    from repro.core.workload import ConstantSize
+
+    configs = [
+        ("tiered", StoreSpec("filesystem", volume_bytes=volume)),
+        ("naive", StoreSpec("filesystem", volume_bytes=volume,
+                            options={"index_kind": "naive"})),
+        ("sharded", StoreSpec("filesystem", volume_bytes=volume,
+                              shards=3)),
+    ]
+
+    class _Killed(Exception):
+        pass
+
+    rows = []
+    for label, spec in configs:
+        print(f"    checkpoint_resume: {label}", flush=True)
+        cfg = ExperimentConfig(store=spec, sizes=ConstantSize(AGING_OBJECT),
+                               occupancy=0.4, ages=RESUME_AGES,
+                               reads_per_sample=16, seed=seed)
+        baseline = ExperimentRunner(cfg).run()
+        with tempfile.TemporaryDirectory() as directory:
+            kill_age = RESUME_AGES[1]
+
+            def killer(phase: str, value: float) -> None:
+                if phase == "checkpoint" and value == kill_age:
+                    raise _Killed
+
+            t0 = time.perf_counter()
+            try:
+                ExperimentRunner(cfg, progress=killer,
+                                 checkpoint_dir=directory).run()
+                raise RuntimeError("kill point never fired")
+            except _Killed:
+                pass
+            killed_s = time.perf_counter() - t0
+            checkpoint_bytes = sum(
+                f.stat().st_size
+                for f in Path(directory).rglob("*") if f.is_file()
+            )
+            t0 = time.perf_counter()
+            resumed = ExperimentRunner(cfg, checkpoint_dir=directory,
+                                       resume=True).run()
+            resume_s = time.perf_counter() - t0
+        if resumed.to_dict() != baseline.to_dict():
+            raise AssertionError(
+                f"checkpoint_resume[{label}]: resumed run record "
+                "diverged from the uninterrupted baseline"
+            )
+        rows.append({
+            "scenario": "checkpoint_resume",
+            "config": label,
+            "volume_bytes": volume,
+            "ages": list(RESUME_AGES),
+            "objects": baseline.objects_loaded,
+            "samples": len(baseline.samples),
+            "match": True,
+            "checkpoint_bytes": checkpoint_bytes,
+            "killed_run_seconds": round(killed_s, 4),
+            "resume_seconds": round(resume_s, 4),
+        })
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -362,6 +449,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"... sharded_aging @ {aging_volume // MB} MB volume, "
               f"{AGING_SHARDS} shards", flush=True)
         rows.extend(run_sharded_aging(aging_volume))
+    if "checkpoint_resume" in scenarios:
+        resume_volume = QUICK_RESUME_VOLUME if args.quick else RESUME_VOLUME
+        print(f"... checkpoint_resume @ {resume_volume // MB} MB volume",
+              flush=True)
+        rows.extend(run_checkpoint_resume(resume_volume))
 
     speedups: dict[str, float] = {}
     seg = {r["store"]: r for r in rows
@@ -388,7 +480,7 @@ def main(argv: list[str] | None = None) -> int:
                 aging["single"]["sweep_device_s"] / clook_s, 2)
 
     report = {
-        "schema": "bench-scale-volume/3",
+        "schema": "bench-scale-volume/4",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -404,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
             "aging_shards": AGING_SHARDS,
             "aging_read_batch": AGING_READ_BATCH,
             "aging_churn_age": AGING_CHURN_AGE,
+            "resume_ages": list(RESUME_AGES),
             "scenarios": list(scenarios),
         },
         "results": rows,
@@ -444,6 +537,15 @@ def main(argv: list[str] | None = None) -> int:
                   f"{r['reorder']:>8s} {r['objects']:>8d} "
                   f"{r['sweep_device_s']:>12.3f} {r['sweep_seeks']:>12d} "
                   f"{r['modelled_device_s']:>12.2f}")
+    resume_rows = [r for r in rows
+                   if r.get("scenario") == "checkpoint_resume"]
+    if resume_rows:
+        print(f"\n{'config':>8s} {'objects':>8s} {'ckpt KB':>8s} "
+              f"{'resume s':>9s} {'match':>6s}")
+        for r in resume_rows:
+            print(f"{r['config']:>8s} {r['objects']:>8d} "
+                  f"{r['checkpoint_bytes'] // 1024:>8d} "
+                  f"{r['resume_seconds']:>9.3f} {str(r['match']):>6s}")
     if speedups:
         print("\nspeedups: " + ", ".join(
             f"{k}: {v}x" for k, v in speedups.items()))

@@ -8,6 +8,8 @@ Examples::
         --object-size 1M --volume 1G
     python -m repro compare --object-size 512K --volume 512M \\
         --occupancy 0.9 --ages 0,2,4 --json results.json
+    python -m repro run --volume 4G --ages 0,2,4,6,8,10 \\
+        --checkpoint-dir /tmp/aging-ck            # later: add --resume
     python -m repro backends
     python -m repro --list-backends
 
@@ -26,6 +28,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 
 from repro.analysis.tables import render_series_table, render_table
 from repro.backends.registry import backend_descriptions
@@ -82,6 +85,13 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "lfs:reorder=clook,batch=16 (see --help text)")
     parser.add_argument("--shards", type=int, default=0,
                         help="stripe the store over N sub-volumes")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="write a resumable checkpoint after every "
+                             "sampled age (long aging runs can stop and "
+                             "continue)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from the newest valid checkpoint "
+                             "in --checkpoint-dir (fresh run when none)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the results as JSON")
 
@@ -148,9 +158,16 @@ def _result_table(results: dict) -> str:
     return "\n\n".join(blocks)
 
 
+def _checkpoint_args(args: argparse.Namespace) -> dict:
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    return {"checkpoint_dir": args.checkpoint_dir, "resume": args.resume}
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Age one backend and print its fragmentation/throughput tables."""
-    result = run_experiment(_config_from(args, args.backend))
+    result = run_experiment(_config_from(args, args.backend),
+                            **_checkpoint_args(args))
     print(_result_table({result.backend: result}))
     print(f"\nbulk-load write throughput: "
           f"{result.bulk_load_write_mbps / MB:.2f} MB/s "
@@ -172,8 +189,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
               "backend (to pin one backend, use 'run')",
               file=sys.stderr)
         return 2
+    ckpt = _checkpoint_args(args)
     results = {
-        backend: run_experiment(_config_from(args, backend))
+        # Each curve checkpoints into its own subdirectory so resumes
+        # never cross backends.
+        backend: run_experiment(
+            _config_from(args, backend),
+            checkpoint_dir=(Path(ckpt["checkpoint_dir"]) / backend
+                            if ckpt["checkpoint_dir"] else None),
+            resume=ckpt["resume"],
+        )
         for backend in args.against
     }
     print(_result_table(results))

@@ -15,8 +15,13 @@ to single-digit GB so a run takes seconds, not a week.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import pickle
 import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
 
 from repro.alloc.freelist import INDEX_KINDS
 
@@ -36,8 +41,21 @@ from repro.core.workload import (
 from repro.db.database import DbConfig
 from repro.errors import ConfigError
 from repro.fs.filesystem import FsConfig
+from repro.persist import (
+    CheckpointManager,
+    cross_check,
+    decode_free_index,
+    encode_free_index,
+    encode_journal,
+    fs_components,
+    rebuild_fs_free_index,
+    verify_journal,
+)
 from repro.rng import substream
 from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
+
+#: Manifest tag of experiment checkpoints (see ``_save_checkpoint``).
+CHECKPOINT_SCHEMA = "run-checkpoint/1"
 
 #: Every registered backend, derived from the registry — not a
 #: hand-maintained tuple.  Includes the ``sharded`` composite.
@@ -214,13 +232,28 @@ def make_store(config: ExperimentConfig) -> ObjectStore:
 
 @dataclass
 class ExperimentRunner:
-    """Runs one configuration end to end."""
+    """Runs one configuration end to end.
+
+    With ``checkpoint_dir`` set, a resumable checkpoint is written after
+    every sampled age (see ``_save_checkpoint`` for the format); with
+    ``resume=True`` the runner restores the newest valid checkpoint in
+    that directory — cross-checking the restored free index against its
+    byte-stable snapshot *and* a rebuild from the extent maps — and
+    continues with the remaining ages.  A resumed run reproduces the
+    uninterrupted run's record exactly: all state, including RNG
+    streams and per-device IoStats, travels with the checkpoint.
+    """
 
     config: ExperimentConfig
     #: Optional progress callback: (phase_name, detail_float).
     progress: object = None
     store: ObjectStore | None = None
     state: WorkloadState | None = None
+    #: Directory for resumable checkpoints; None disables them.
+    checkpoint_dir: str | Path | None = None
+    #: Restore from ``checkpoint_dir`` before running (fresh run when
+    #: the directory holds no valid checkpoint).
+    resume: bool = False
     _read_rng_seed: int = field(init=False, default=0)
 
     def _notify(self, phase: str, value: float) -> None:
@@ -229,33 +262,46 @@ class ExperimentRunner:
 
     def run(self) -> RunResult:
         cfg = self.config
-        self.store = store = build_store(cfg.resolved_spec())
-        spec = WorkloadSpec(
-            sizes=cfg.sizes,
-            target_occupancy=cfg.occupancy,
-            write_request=cfg.write_request,
-            with_content=cfg.store_data,
-        )
-        result = RunResult(
-            backend=cfg.backend,
-            label=cfg.display_label(),
-            config=cfg.to_dict(),
-        )
-        rng = substream(cfg.seed, "workload")
-        read_rng = substream(cfg.seed, "reads")
+        manager = None
+        if self.checkpoint_dir is not None:
+            manager = CheckpointManager(self.checkpoint_dir)
+        restored = None
+        if manager is not None and self.resume:
+            restored = self._restore_checkpoint(manager)
+        if restored is not None:
+            result, read_rng, last_write_mbps, done_ages = restored
+            store, state = self.store, self.state
+        else:
+            self.store = store = build_store(cfg.resolved_spec())
+            spec = WorkloadSpec(
+                sizes=cfg.sizes,
+                target_occupancy=cfg.occupancy,
+                write_request=cfg.write_request,
+                with_content=cfg.store_data,
+            )
+            result = RunResult(
+                backend=cfg.backend,
+                label=cfg.display_label(),
+                config=cfg.to_dict(),
+            )
+            rng = substream(cfg.seed, "workload")
+            read_rng = substream(cfg.seed, "reads")
 
-        # Phase 0: bulk load (storage age zero).
-        self._notify("bulk-load", 0.0)
-        with measure(store, "bulk-load") as phase:
-            self.state = state = bulk_load(store, spec, rng)
-            phase.add_bytes(state.tracker.live_bytes)
-        assert phase.result is not None
-        result.bulk_load_write_mbps = phase.result.mbps
-        result.objects_loaded = len(state.keys)
-        result.live_bytes = state.tracker.live_bytes
+            # Phase 0: bulk load (storage age zero).
+            self._notify("bulk-load", 0.0)
+            with measure(store, "bulk-load") as phase:
+                self.state = state = bulk_load(store, spec, rng)
+                phase.add_bytes(state.tracker.live_bytes)
+            assert phase.result is not None
+            result.bulk_load_write_mbps = phase.result.mbps
+            result.objects_loaded = len(state.keys)
+            result.live_bytes = state.tracker.live_bytes
+            last_write_mbps = result.bulk_load_write_mbps
+            done_ages = []
 
-        last_write_mbps = result.bulk_load_write_mbps
         for target_age in cfg.ages:
+            if target_age in done_ages:
+                continue
             if state.tracker.storage_age < target_age:
                 self._notify("churn", target_age)
                 before = state.bytes_overwritten
@@ -269,7 +315,86 @@ class ExperimentRunner:
                 self._sample(store, state, target_age,
                              last_write_mbps, read_rng)
             )
+            done_ages.append(target_age)
+            if manager is not None:
+                self._save_checkpoint(manager, result, read_rng,
+                                      last_write_mbps, done_ages)
+                self._notify("checkpoint", target_age)
         return result
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume
+    # ------------------------------------------------------------------
+    def _config_hash(self) -> str:
+        """Fingerprint of everything that determines the run."""
+        blob = json.dumps(self.config.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _save_checkpoint(self, manager: CheckpointManager,
+                         result: RunResult, read_rng: Random,
+                         last_write_mbps: float,
+                         done_ages: list[float]) -> None:
+        """One checkpoint = full pickled run state + per-volume snapshots.
+
+        ``state.pkl`` carries everything a resume needs (store, workload
+        state, partial result, RNG streams).  Alongside it, every
+        filesystem volume inside the store — one for the filesystem
+        backend, one per shard for a sharded store — contributes a
+        byte-stable free-index snapshot and a journal-state snapshot;
+        on load these are cross-checked against the unpickled state and
+        against a rebuild from the extent maps, so a torn checkpoint is
+        rejected instead of resumed.
+        """
+        payload = {
+            "store": self.store,
+            "state": self.state,
+            "result": result,
+            "read_rng": read_rng,
+            "last_write_mbps": last_write_mbps,
+            "done_ages": list(done_ages),
+        }
+        files = {"state.pkl": pickle.dumps(payload)}
+        for label, fs in fs_components(self.store):
+            files[f"free_index-{label}.bin"] = encode_free_index(
+                fs.free_index)
+            files[f"journal-{label}.bin"] = encode_journal(fs.journal)
+        manager.save(files, meta={
+            "schema": CHECKPOINT_SCHEMA,
+            "config_hash": self._config_hash(),
+            "label": self.config.display_label(),
+            "done_ages": list(done_ages),
+        })
+
+    def _restore_checkpoint(self, manager: CheckpointManager):
+        """Load the newest valid checkpoint, or None for a fresh start."""
+        ckpt = manager.load_latest()
+        if ckpt is None:
+            return None
+        if ckpt.meta.get("schema") != CHECKPOINT_SCHEMA:
+            raise ConfigError(
+                f"checkpoint {ckpt.path} has schema "
+                f"{ckpt.meta.get('schema')!r}, expected {CHECKPOINT_SCHEMA}"
+            )
+        if ckpt.meta.get("config_hash") != self._config_hash():
+            raise ConfigError(
+                f"checkpoint {ckpt.path} was written by a different "
+                "configuration; refusing to resume (pass a fresh "
+                "--checkpoint-dir or matching flags)"
+            )
+        payload = pickle.loads(ckpt.read("state.pkl"))
+        store = payload["store"]
+        for label, fs in fs_components(store):
+            snapshot = decode_free_index(ckpt.read(f"free_index-{label}.bin"))
+            cross_check(snapshot, fs.free_index,
+                        label=f"{label} snapshot vs restored")
+            rebuilt = rebuild_fs_free_index(fs)
+            cross_check(rebuilt, fs.free_index,
+                        label=f"{label} rebuild vs restored")
+            verify_journal(fs.journal, ckpt.read(f"journal-{label}.bin"))
+        self.store = store
+        self.state = payload["state"]
+        return (payload["result"], payload["read_rng"],
+                payload["last_write_mbps"], list(payload["done_ages"]))
 
     def _sample(self, store: ObjectStore, state: WorkloadState,
                 age: float, write_mbps: float, read_rng) -> AgeSample:
@@ -291,6 +416,16 @@ class ExperimentRunner:
         )
 
 
-def run_experiment(config: ExperimentConfig, progress=None) -> RunResult:
-    """Convenience wrapper: build, run, return the result."""
-    return ExperimentRunner(config, progress=progress).run()
+def run_experiment(config: ExperimentConfig, progress=None, *,
+                   checkpoint_dir: str | Path | None = None,
+                   resume: bool = False) -> RunResult:
+    """Convenience wrapper: build, run, return the result.
+
+    ``checkpoint_dir`` enables a resumable checkpoint after every
+    sampled age; ``resume=True`` continues from the newest valid one
+    (identical results to the uninterrupted run — the whole state,
+    RNG streams and IoStats included, travels with the checkpoint).
+    """
+    return ExperimentRunner(config, progress=progress,
+                            checkpoint_dir=checkpoint_dir,
+                            resume=resume).run()

@@ -63,5 +63,15 @@ class CorruptionError(ReproError):
     """
 
 
+class SnapshotError(CorruptionError):
+    """A persisted snapshot or checkpoint is torn, truncated, or stale.
+
+    Raised by the persistence layer when a blob fails its magic/version/
+    checksum validation or when a restored structure disagrees with a
+    rebuild from first principles — the signal to fall back to an older
+    checkpoint rather than mount corrupt state.
+    """
+
+
 class CrashPoint(ReproError):
     """Raised by fault-injection hooks to simulate a crash mid-operation."""

@@ -26,7 +26,7 @@ from repro.disk.device import BlockDevice
 from repro.errors import AllocationError, ConfigError, FsError
 from repro.fs.allocator import FsAllocator
 from repro.fs.filetable import FileRecord, FileTable
-from repro.fs.journal import Journal
+from repro.fs.journal import Journal, RecoveryReport
 from repro.fs.metadata_traffic import MetadataTraffic
 from repro.units import CLUSTER_SIZE, DEFAULT_WRITE_REQUEST, KB, MB
 
@@ -123,6 +123,13 @@ class SimFilesystem:
         #: Optional fault-injection hook: called with a label at each
         #: crash point; raising aborts the operation there.
         self.crash_hook = None
+        # Journal kill points route through the same hook (a bound
+        # method, not a lambda, so checkpoints stay picklable).
+        self.journal.crash_hook = self._crash
+        #: Space whose delete was lost in a crash (log record never
+        #: forced): on the real volume those files still exist, so the
+        #: bytes stay unallocatable.  Populated by recovery only.
+        self.orphaned_extents: list[Extent] = []
         self._tmp_seq = 0
 
     # ------------------------------------------------------------------
@@ -390,6 +397,24 @@ class SimFilesystem:
     def _crash(self, label: str) -> None:
         if self.crash_hook is not None:
             self.crash_hook(label)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (the "mount after crash" path)
+    # ------------------------------------------------------------------
+    def recover_after_crash(self) -> RecoveryReport:
+        """Replay or discard in-flight frees per the deferred-free rule.
+
+        Journal frees whose commit was durable are replayed into the
+        free index; frees whose log record never hit the platter are
+        discarded — their deletes never happened, so the space stays
+        unallocatable and is tracked in :attr:`orphaned_extents` (the
+        real volume still holds those files).  Delayed-allocation
+        buffers are volatile and are dropped, like a page cache.
+        """
+        self._write_buffers.clear()
+        report = self.journal.recover()
+        self.orphaned_extents.extend(report.discarded)
+        return report
 
     # ------------------------------------------------------------------
     # Introspection

@@ -80,6 +80,12 @@ class MetadataTraffic:
     def outstanding_bytes(self) -> int:
         return sum(e.length for e in self._outstanding)
 
+    @property
+    def outstanding_extents(self) -> tuple[Extent, ...]:
+        """Live nibbles (a copy) — allocated space outside any file's
+        extent map, which free-index rebuilds must account for."""
+        return tuple(self._outstanding)
+
     def on_event(self) -> None:
         """Called by the filesystem on every allocation event."""
         if not self.enabled:

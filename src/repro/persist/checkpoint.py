@@ -1,0 +1,246 @@
+"""Directory checkpoints with atomic publish and torn-state detection.
+
+A checkpoint is a directory ``ckpt-NNNNNN`` holding named payload files
+plus a ``MANIFEST.json`` written last: schema version, caller metadata,
+and the SHA-256 + size of every payload file.  Writing goes to a
+``.tmp`` sibling and the final ``os.replace`` of the directory is the
+commit point — a crash anywhere earlier leaves only a ``.tmp`` husk
+that loaders ignore and the next save sweeps away.  LFS keeps two
+checkpoint regions and mounts the newer valid one; we do the same by
+retaining ``keep`` published checkpoints, so a crash *during* a save
+can always fall back to the previous one.
+
+:meth:`CheckpointManager.load_latest` walks published checkpoints
+newest-first and returns the first that fully verifies (manifest parses,
+every file present with matching size and digest); anything torn is
+skipped, never mounted.  ``fault_hook`` injects crashes at each write
+boundary for the kill-point matrix in ``tests/test_crash_matrix.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigError, SnapshotError
+
+#: Manifest schema; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+_PREFIX = "ckpt-"
+_TMP_SUFFIX = ".tmp"
+
+
+def _digest(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One published, verified checkpoint directory."""
+
+    seq: int
+    path: Path
+    meta: dict
+    files: dict[str, dict] = field(repr=False)
+    #: Blobs already verified this session; avoids re-reading and
+    #: re-hashing state.pkl (the largest file) on every consumer read.
+    _cache: dict[str, bytes] = field(default_factory=dict, repr=False)
+
+    def names(self) -> list[str]:
+        return list(self.files)
+
+    def read(self, name: str) -> bytes:
+        """Read one payload file, verifying its digest once."""
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        info = self.files.get(name)
+        if info is None:
+            raise SnapshotError(
+                f"checkpoint {self.path.name} has no file {name!r}"
+            )
+        try:
+            blob = (self.path / name).read_bytes()
+        except OSError as exc:
+            raise SnapshotError(
+                f"checkpoint file {self.path.name}/{name} unreadable: {exc}"
+            ) from None
+        if len(blob) != info["bytes"] or _digest(blob) != info["sha256"]:
+            raise SnapshotError(
+                f"checkpoint file {self.path.name}/{name} failed its digest"
+            )
+        self._cache[name] = blob
+        return blob
+
+
+class CheckpointManager:
+    """Write and load checkpoints under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created on first use.
+    keep:
+        Published checkpoints to retain (>= 1).  Older ones are pruned
+        only after a newer one has been successfully published.
+    fault_hook:
+        Optional fault-injection callable, invoked with a label at every
+        write boundary (``"write:<name>"`` before each payload file,
+        ``"manifest"`` after the manifest is staged, ``"published"``
+        after the atomic rename); raising simulates a crash there.
+    """
+
+    def __init__(self, directory: str | Path, *, keep: int = 2,
+                 fault_hook: Callable[[str], None] | None = None) -> None:
+        if keep < 1:
+            raise ConfigError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.fault_hook = fault_hook
+
+    # ------------------------------------------------------------------
+    def _fault(self, label: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(label)
+
+    def _published(self) -> list[tuple[int, Path]]:
+        if not self.directory.is_dir():
+            return []
+        out = []
+        for path in self.directory.iterdir():
+            name = path.name
+            if not name.startswith(_PREFIX) or name.endswith(_TMP_SUFFIX):
+                continue
+            try:
+                seq = int(name[len(_PREFIX):])
+            except ValueError:
+                continue
+            out.append((seq, path))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    def save(self, files: Mapping[str, bytes],
+             meta: dict[str, Any] | None = None) -> Checkpoint:
+        """Write a new checkpoint; returns it once durably published."""
+        for name in files:
+            if name == MANIFEST_NAME or "/" in name or name.startswith("."):
+                raise ConfigError(f"bad checkpoint file name {name!r}")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        published = self._published()
+        seq = published[-1][0] + 1 if published else 1
+        final = self.directory / f"{_PREFIX}{seq:06d}"
+        staging = self.directory / f"{_PREFIX}{seq:06d}{_TMP_SUFFIX}"
+        if staging.exists():
+            shutil.rmtree(staging)  # husk of a crashed save
+        staging.mkdir()
+        manifest_files = {}
+        for name, blob in files.items():
+            self._fault(f"write:{name}")
+            (staging / name).write_bytes(blob)
+            manifest_files[name] = {"sha256": _digest(blob),
+                                    "bytes": len(blob)}
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "seq": seq,
+            "meta": dict(meta or {}),
+            "files": manifest_files,
+        }
+        (staging / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True)
+        )
+        self._fault("manifest")
+        os.replace(staging, final)  # the commit point
+        self._fault("published")
+        self._prune()
+        return Checkpoint(seq=seq, path=final, meta=manifest["meta"],
+                          files=manifest_files)
+
+    def _prune(self) -> None:
+        published = self._published()
+        for _, path in published[: max(0, len(published) - self.keep)]:
+            shutil.rmtree(path, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def load(self, path: Path) -> Checkpoint:
+        """Verify and open one checkpoint directory (raises if torn)."""
+        manifest_path = path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"checkpoint {path.name} has no readable manifest: {exc}"
+            ) from None
+        # Structural validation: a manifest that parses as JSON can
+        # still be arbitrarily misshapen after a torn write; everything
+        # load touches must be checked before it is used, so corruption
+        # surfaces as SnapshotError (which load_latest skips), never as
+        # a TypeError escaping the fallback walk.
+        if not isinstance(manifest, dict) or \
+                not isinstance(manifest.get("version", 0), int) or \
+                manifest.get("version", 0) > CHECKPOINT_VERSION or \
+                not isinstance(manifest.get("seq", 0), int) or \
+                not isinstance(manifest.get("meta", {}), dict) or \
+                not isinstance(manifest.get("files"), dict):
+            raise SnapshotError(
+                f"checkpoint {path.name} manifest is malformed or too new"
+            )
+        for name, info in manifest["files"].items():
+            if not (isinstance(name, str) and isinstance(info, dict)
+                    and isinstance(info.get("bytes"), int)
+                    and isinstance(info.get("sha256"), str)):
+                raise SnapshotError(
+                    f"checkpoint {path.name} manifest entry {name!r} "
+                    "is malformed"
+                )
+        ckpt = Checkpoint(
+            seq=manifest.get("seq", 0),
+            path=path,
+            meta=dict(manifest.get("meta", {})),
+            files=manifest["files"],
+        )
+        for name in ckpt.files:
+            ckpt.read(name)  # digest check; raises SnapshotError if torn
+        return ckpt
+
+    def load_latest(self) -> Checkpoint | None:
+        """The newest checkpoint that fully verifies, or ``None``.
+
+        Torn or partially written checkpoints (bad manifest, missing
+        file, digest mismatch) are skipped — never mounted — and the
+        walk falls back to the next older one.
+        """
+        for _, path in reversed(self._published()):
+            try:
+                return self.load(path)
+            except SnapshotError:
+                continue
+        return None
+
+
+# ----------------------------------------------------------------------
+# Store introspection (duck-typed so this layer imports no backend)
+# ----------------------------------------------------------------------
+def fs_components(store) -> list[tuple[str, Any]]:
+    """(label, SimFilesystem) pairs reachable inside an object store.
+
+    The filesystem backend exposes one (``vol0``); a sharded composite
+    exposes one per filesystem shard (``shard0``..); backends without a
+    free index contribute none.  Labels are stable, so checkpoint file
+    names (``free_index-<label>.bin``) line up across save and load.
+    """
+    fs = getattr(store, "fs", None)
+    if fs is not None and hasattr(fs, "free_index"):
+        return [("vol0", fs)]
+    out: list[tuple[str, Any]] = []
+    for i, shard in enumerate(getattr(store, "shards", ()) or ()):
+        fs = getattr(shard, "fs", None)
+        if fs is not None and hasattr(fs, "free_index"):
+            out.append((f"shard{i}", fs))
+    return out

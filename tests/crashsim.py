@@ -1,0 +1,143 @@
+"""Reusable crash-injection harness for recovery testing.
+
+Storage systems are validated by killing them mid-write, thousands of
+times; this module is the killing machinery.  Three pieces:
+
+* :class:`CrashClock` — a shared countdown of *write events* (data
+  write submissions, log forces, and host-level commit kill points).
+  Sharing one clock across several devices lets a kill point land
+  anywhere inside a multi-volume store.
+* :class:`FaultyDevice` — a :class:`~repro.disk.device.BlockDevice`
+  that ticks the clock before every write-bearing submission and every
+  flush.  When the clock fires it raises
+  :class:`~repro.errors.CrashPoint` *before* the submission takes
+  effect — or, in ``torn`` mode, after applying only a prefix of the
+  doomed write's content, modelling a half-transferred sector run.
+* :func:`kill_point_matrix` — the driver: measure the fault-free
+  write-event count of a workload, then replay the workload once per
+  kill point ``k`` in ``[0, total)``, yielding each crashed (or
+  surviving) system for the caller's recovery checks.
+
+The invariant every consumer asserts (the paper's Section 2 rule): an
+extent freed by a delete is never allocatable before the commit that
+logged the delete is durable — at any kill point, the journal's
+pending frees must be absent from the free index, and recovery must
+either discard them (force never happened) or replay them (force
+completed).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.disk.device import BlockDevice, IoRequest
+from repro.disk.geometry import DiskGeometry
+from repro.errors import CrashPoint
+
+
+class CrashClock:
+    """Countdown shared by every faulty device of one system.
+
+    ``kill_after=None`` never fires (used for the fault-free baseline
+    that measures a workload's write-event count); ``kill_after=k``
+    fires on the ``k``-th write event (0-based), once.
+    """
+
+    def __init__(self, kill_after: int | None = None) -> None:
+        self.kill_after = kill_after
+        self.events = 0
+        self.fired = False
+
+    def tick(self, label: str = "") -> None:
+        """Count one write event; raise :class:`CrashPoint` when armed."""
+        if (self.kill_after is not None and not self.fired
+                and self.events >= self.kill_after):
+            self.fired = True
+            raise CrashPoint(
+                f"injected crash at write event {self.events}"
+                + (f" ({label})" if label else "")
+            )
+        self.events += 1
+
+    def hook(self, label: str) -> None:
+        """Adapter matching the ``crash_hook(label)`` signature."""
+        self.tick(label)
+
+
+class FaultyDevice(BlockDevice):
+    """A block device that crashes after N write events.
+
+    Reads never crash (a dying read loses nothing); every write-bearing
+    ``submit`` and every ``flush`` ticks the clock first.  With
+    ``torn=True`` the doomed write additionally applies the first half
+    of its first extent's content (untimed, like a partial transfer
+    cut by power loss) before raising — so content-checked recovery
+    sees a genuinely torn state, not just a missing one.
+    """
+
+    def __init__(self, geometry: DiskGeometry, *,
+                 clock: CrashClock | None = None,
+                 torn: bool = False, **kwargs) -> None:
+        super().__init__(geometry, **kwargs)
+        self.clock = clock if clock is not None else CrashClock()
+        self.torn = torn
+
+    @property
+    def write_events(self) -> int:
+        return self.clock.events
+
+    def _tick(self, label: str, batch: list[IoRequest]) -> None:
+        try:
+            self.clock.tick(label)
+        except CrashPoint:
+            if self.torn and self.stores_data:
+                self._tear(batch)
+            raise
+
+    def _tear(self, batch: list[IoRequest]) -> None:
+        for req in batch:
+            if req.is_write and req.data is not None and req.extents:
+                ext = req.extents[0]
+                half = ext.length // 2
+                if half:
+                    self.poke(ext.start, req.data[:half])
+                return
+
+    def submit(self, batch: list[IoRequest], *,
+               reorder: bool | None = None) -> list[bytes | None]:
+        if any(req.is_write for req in batch):
+            self._tick("write", batch)
+        return super().submit(batch, reorder=reorder)
+
+    def flush(self) -> None:
+        self._tick("flush", [])
+        super().flush()
+
+
+def kill_point_matrix(build: Callable[[CrashClock], object],
+                      workload: Callable[[object], None],
+                      ) -> Iterator[tuple[int, bool, object]]:
+    """Replay ``workload`` once per kill point; yield each outcome.
+
+    ``build(clock)`` constructs a fresh system whose faulty devices
+    (and, if desired, host-level crash hooks) share ``clock``;
+    ``workload(system)`` drives it.  The first, unarmed run measures
+    the total write-event count ``T``; the matrix then yields
+    ``(k, crashed, system)`` for every ``k`` in ``[0, T)``.  Callers
+    run their recovery path on each yielded system and assert the
+    deferred-free invariant.
+    """
+    baseline_clock = CrashClock(None)
+    baseline = build(baseline_clock)
+    workload(baseline)
+    total = baseline_clock.events
+    assert total > 0, "workload produced no write events to kill"
+    for k in range(total):
+        clock = CrashClock(k)
+        system = build(clock)
+        try:
+            workload(system)
+            crashed = False
+        except CrashPoint:
+            crashed = True
+        yield k, crashed, system

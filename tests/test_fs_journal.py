@@ -6,9 +6,11 @@ from repro.alloc.extent import Extent
 from repro.alloc.freelist import FreeExtentIndex
 from repro.disk.device import BlockDevice
 from repro.disk.geometry import scaled_disk
-from repro.errors import ConfigError
-from repro.fs.journal import Journal
-from repro.units import MB
+from repro.errors import ConfigError, CorruptionError, CrashPoint
+from repro.fs.journal import Journal, JournalState
+from repro.units import KB, MB
+
+RECORD = 4096
 
 
 def make_journal(commit_interval=4, charge_io=True):
@@ -90,3 +92,165 @@ class TestLogIo:
                     commit_interval_ops=0)
         with pytest.raises(ConfigError):
             Journal(device, index, log_base=0, log_size=100)
+
+
+class TestCircularWraparound:
+    """Regression: a batch straddling the region's end must split into
+    tail + head writes, charging exactly the batch's bytes (the old
+    code reset the cursor and clamped, mischarging the I/O)."""
+
+    def make_small_log(self, log_records: int):
+        device = BlockDevice(scaled_disk(16 * MB))
+        index = FreeExtentIndex(16 * MB, initially_free=False)
+        journal = Journal(device, index, log_base=0,
+                          log_size=log_records * RECORD,
+                          commit_interval_ops=10_000)
+        return journal, device
+
+    def test_straddling_batch_splits_and_charges_exact_bytes(self):
+        journal, device = self.make_small_log(16)  # 64 KB region
+        for _ in range(14):
+            journal.log_operation()
+        journal.commit()  # cursor at 56 KB, 8 KB remain
+        assert journal.log_cursor == 14 * RECORD
+        bytes_before = device.stats.write_bytes
+        requests_before = device.stats.requests
+        for _ in range(5):
+            journal.log_operation()
+        journal.commit()  # 20 KB batch: 8 KB tail + 12 KB head
+        assert device.stats.write_bytes - bytes_before == 5 * RECORD
+        # Two record writes (tail, head) plus the forcing flush.
+        assert device.stats.requests - requests_before == 3
+        assert journal.log_cursor == (14 + 5) * RECORD % (16 * RECORD)
+
+    def test_batch_larger_than_whole_region_charges_every_byte(self):
+        journal, device = self.make_small_log(16)  # 64 KB region
+        for _ in range(20):  # 80 KB buffered: more than one lap
+            journal.log_operation()
+        journal.commit()
+        assert device.stats.write_bytes == 20 * RECORD
+        assert journal.log_cursor == 20 * RECORD % (16 * RECORD)
+
+    def test_exact_fit_wraps_cursor_to_zero(self):
+        journal, device = self.make_small_log(8)
+        for _ in range(8):
+            journal.log_operation()
+        journal.commit()
+        assert journal.log_cursor == 0
+        assert device.stats.write_bytes == 8 * RECORD
+
+    def test_bytes_exact_across_many_wrapping_commits(self):
+        journal, device = self.make_small_log(7)  # prime-ish region
+        for _ in range(100):
+            journal.log_operation()
+            if journal.logged_ops % 5 == 0:
+                journal.commit()
+        journal.commit()
+        assert device.stats.write_bytes == 100 * RECORD
+        assert journal.log_cursor == 100 * RECORD % (7 * RECORD)
+
+
+class _CountingList(list):
+    """Iteration counter for the O(1) accounting regression."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.traversals = 0
+
+    def __iter__(self):
+        self.traversals += 1
+        return super().__iter__()
+
+
+class TestIncrementalPendingBytes:
+    def test_pending_free_bytes_never_rescans_the_list(self):
+        journal, index, _ = make_journal(commit_interval=10_000)
+        for i in range(500):
+            journal.log_operation(frees=[Extent(i * 2 * KB, 1 * KB)])
+        counting = _CountingList(journal._pending_frees)
+        journal._pending_frees = counting
+        for _ in range(100):
+            assert journal.pending_free_bytes == 500 * KB
+        assert counting.traversals == 0
+        assert journal.pending_free_count == 500
+
+    def test_counter_tracks_commit_and_recover(self):
+        journal, index, _ = make_journal(commit_interval=10_000)
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        assert journal.pending_free_bytes == 1 * MB
+        journal.commit()
+        assert journal.pending_free_bytes == 0
+        journal.log_operation(frees=[Extent(4 * MB, 1 * MB)])
+        journal.recover()
+        assert journal.pending_free_bytes == 0
+
+
+class TestRecovery:
+    def test_unforced_frees_are_discarded(self):
+        journal, index, _ = make_journal(commit_interval=10_000)
+        ext = Extent(2 * MB, 1 * MB)
+        journal.log_operation(frees=[ext])
+        report = journal.recover()
+        assert report.discarded == (ext,)
+        assert report.replayed == ()
+        assert index.total_free == 0  # never became allocatable
+        assert journal.pending_free_count == 0
+
+    def test_forced_but_unpublished_frees_are_replayed(self):
+        journal, index, _ = make_journal(commit_interval=10_000)
+        ext = Extent(2 * MB, 1 * MB)
+        journal.log_operation(frees=[ext])
+
+        def crash_at_commit(label):
+            raise CrashPoint(label)
+
+        journal.crash_hook = crash_at_commit
+        with pytest.raises(CrashPoint):
+            journal.commit()
+        # The force completed: the free is durable but unpublished.
+        assert index.total_free == 0
+        assert journal.replayable_frees == (ext,)
+        assert journal.pending_free_bytes == 1 * MB
+        journal.crash_hook = None
+        report = journal.recover()
+        assert report.replayed == (ext,)
+        assert report.discarded == ()
+        assert index.total_free == 1 * MB
+
+    def test_recover_on_clean_journal_is_empty(self):
+        journal, _, _ = make_journal()
+        report = journal.recover()
+        assert report.replayed == () and report.discarded == ()
+
+    def test_commit_after_interrupted_commit_publishes(self):
+        """A crashed commit's replayable frees survive a later commit."""
+        journal, index, _ = make_journal(commit_interval=10_000)
+        ext = Extent(2 * MB, 1 * MB)
+        journal.log_operation(frees=[ext])
+        journal.crash_hook = lambda label: (_ for _ in ()).throw(
+            CrashPoint(label))
+        with pytest.raises(CrashPoint):
+            journal.commit()
+        journal.crash_hook = None
+        journal.commit()
+        assert index.total_free == 1 * MB
+
+
+class TestStateSnapshot:
+    def test_round_trip(self):
+        journal, index, _ = make_journal(commit_interval=10_000)
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        journal.log_operation()
+        state = journal.snapshot_state()
+        other, _, _ = make_journal(commit_interval=10_000)
+        other.restore_state(state)
+        assert other.snapshot_state() == state
+        assert other.pending_free_bytes == 1 * MB
+
+    def test_restore_rejects_cursor_outside_log(self):
+        journal, _, _ = make_journal()
+        bad = JournalState(cursor=2 * MB, ops_since_commit=0,
+                           buffered_records=0, commits=0, logged_ops=0,
+                           pending=(), replayable=())
+        with pytest.raises(CorruptionError):
+            journal.restore_state(bad)

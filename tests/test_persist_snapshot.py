@@ -1,0 +1,288 @@
+"""Tests for the persistence layer: snapshots, rebuilds, checkpoints.
+
+Covers the byte-stable binary formats (round trip, determinism,
+torn-blob rejection), the rebuild-from-extent-maps path and its
+cross-check, and the CheckpointManager's atomic-publish/fallback
+behaviour.  Crash-driven coverage lives in ``test_crash_matrix.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.alloc.extent import Extent
+from repro.alloc.freelist import INDEX_KINDS, make_free_index
+from repro.disk.device import BlockDevice
+from repro.disk.geometry import scaled_disk
+from repro.errors import ConfigError, SnapshotError
+from repro.fs.filesystem import FsConfig, SimFilesystem
+from repro.fs.journal import Journal
+from repro.persist import (
+    CheckpointManager,
+    cross_check,
+    decode_free_index,
+    decode_journal_state,
+    encode_free_index,
+    encode_journal,
+    fs_components,
+    rebuild_fs_free_index,
+    restore_journal,
+    verify_journal,
+)
+from repro.persist.snapshot import index_kind_of
+from repro.units import KB, MB
+
+CAPACITY = 64 * MB
+
+
+def churned_index(kind: str, seed: int = 3):
+    """A free index with a few dozen runs from random carves/frees."""
+    index = make_free_index(CAPACITY, kind=kind)
+    rng = random.Random(seed)
+    allocated = []
+    for _ in range(300):
+        if allocated and rng.random() < 0.4:
+            index.add(allocated.pop(rng.randrange(len(allocated))))
+        else:
+            run = index.first_fit(rng.randrange(1, 64) * KB,
+                                  min_start=rng.randrange(CAPACITY))
+            if run is None:
+                continue
+            taken, _ = run.take_front(min(run.length, 32 * KB))
+            index.remove(taken)
+            allocated.append(taken)
+    index.check_invariants()
+    return index
+
+
+class TestFreeIndexSnapshot:
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_round_trip(self, kind):
+        index = churned_index(kind)
+        blob = encode_free_index(index)
+        restored = decode_free_index(blob)
+        assert index_kind_of(restored) == kind
+        assert list(restored) == list(index)
+        assert restored.total_free == index.total_free
+        assert restored.largest() == index.largest()
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_byte_stable(self, kind):
+        """Same free map -> same bytes; decode/encode is the identity."""
+        index = churned_index(kind)
+        blob = encode_free_index(index)
+        assert encode_free_index(decode_free_index(blob)) == blob
+
+    def test_cross_engine_restore(self):
+        tiered = churned_index("tiered")
+        naive = decode_free_index(encode_free_index(tiered), kind="naive")
+        assert index_kind_of(naive) == "naive"
+        cross_check(tiered, naive)
+
+    def test_empty_index(self):
+        index = make_free_index(CAPACITY, initially_free=False)
+        restored = decode_free_index(encode_free_index(index))
+        assert len(restored) == 0 and restored.capacity == CAPACITY
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_free_index(churned_index("tiered"))
+        with pytest.raises(SnapshotError):
+            decode_free_index(blob[: len(blob) // 2])
+
+    def test_bit_flip_rejected(self):
+        blob = bytearray(encode_free_index(churned_index("tiered")))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(SnapshotError):
+            decode_free_index(bytes(blob))
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(encode_free_index(churned_index("tiered")))
+        blob[:4] = b"XXXX"
+        with pytest.raises(SnapshotError):
+            decode_free_index(bytes(blob))
+
+
+class TestJournalSnapshot:
+    def make_journal(self):
+        device = BlockDevice(scaled_disk(16 * MB))
+        index = make_free_index(16 * MB, initially_free=False)
+        return Journal(device, index, log_base=0, log_size=1 * MB,
+                       commit_interval_ops=10_000), index
+
+    def test_round_trip_and_verify(self):
+        journal, _ = self.make_journal()
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        journal.log_operation()
+        blob = encode_journal(journal)
+        other, _ = self.make_journal()
+        state = restore_journal(other, blob)
+        assert other.snapshot_state() == state == journal.snapshot_state()
+        verify_journal(other, blob)
+
+    def test_geometry_mismatch_rejected(self):
+        journal, _ = self.make_journal()
+        blob = encode_journal(journal)
+        device = BlockDevice(scaled_disk(16 * MB))
+        index = make_free_index(16 * MB, initially_free=False)
+        other = Journal(device, index, log_base=0, log_size=2 * MB,
+                        commit_interval_ops=4)
+        with pytest.raises(SnapshotError):
+            restore_journal(other, blob)
+
+    def test_verify_detects_divergence(self):
+        journal, _ = self.make_journal()
+        blob = encode_journal(journal)
+        journal.log_operation()
+        with pytest.raises(SnapshotError):
+            verify_journal(journal, blob)
+
+    def test_torn_blob_rejected(self):
+        journal, _ = self.make_journal()
+        journal.log_operation(frees=[Extent(2 * MB, 1 * MB)])
+        blob = encode_journal(journal)
+        with pytest.raises(SnapshotError):
+            decode_journal_state(blob[:-3])
+
+
+def aged_fs(kind: str = "tiered", seed: int = 5) -> SimFilesystem:
+    device = BlockDevice(scaled_disk(48 * MB))
+    fs = SimFilesystem(device, FsConfig(index_kind=kind))
+    rng = random.Random(seed)
+    names = []
+    for i in range(40):
+        name = f"f{i}"
+        fs.create(name)
+        for _ in range(rng.randrange(1, 5)):
+            fs.append(name, nbytes=rng.randrange(1, 5) * 64 * KB)
+        names.append(name)
+    for name in rng.sample(names, 12):
+        fs.delete(name)
+    return fs
+
+
+class TestRebuild:
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_rebuild_matches_live_index(self, kind):
+        fs = aged_fs(kind)
+        rebuilt = rebuild_fs_free_index(fs)
+        assert index_kind_of(rebuilt) == kind
+        cross_check(rebuilt, fs.free_index)
+        # ... including while frees are parked in the journal.
+        assert fs.journal.pending_free_count >= 0
+        fs.journal.commit()
+        cross_check(rebuild_fs_free_index(fs), fs.free_index)
+
+    def test_rebuild_detects_double_counted_extent(self):
+        fs = aged_fs()
+        # Corrupt the model: claim a free run is also file data.
+        run = next(iter(fs.free_index))
+        record = fs.table.lookup(fs.list_files()[0])
+        record.extents.append(Extent(run.start, min(run.length, 4 * KB)))
+        with pytest.raises(SnapshotError):
+            rebuilt = rebuild_fs_free_index(fs)
+            cross_check(rebuilt, fs.free_index)
+
+    def test_cross_check_detects_drift(self):
+        fs = aged_fs()
+        rebuilt = rebuild_fs_free_index(fs)
+        run = next(iter(rebuilt))
+        rebuilt.remove(Extent(run.start, min(run.length, 1 * KB)))
+        with pytest.raises(SnapshotError):
+            cross_check(rebuilt, fs.free_index)
+
+
+class TestCheckpointManager:
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"a.bin": b"alpha"}, meta={"age": 1})
+        ckpt = manager.save({"a.bin": b"beta", "b.bin": b"bravo"},
+                            meta={"age": 2})
+        latest = manager.load_latest()
+        assert latest is not None
+        assert latest.seq == ckpt.seq
+        assert latest.meta == {"age": 2}
+        assert latest.read("a.bin") == b"beta"
+        assert sorted(latest.names()) == ["a.bin", "b.bin"]
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "new").load_latest() is None
+
+    def test_prune_keeps_latest_two(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for age in range(5):
+            manager.save({"a.bin": bytes([age])}, meta={"age": age})
+        seqs = [seq for seq, _ in manager._published()]
+        assert len(seqs) == 2 and seqs[-1] == 5
+
+    def test_torn_file_falls_back_to_previous(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"a.bin": b"good"}, meta={"age": 1})
+        second = manager.save({"a.bin": b"newer"}, meta={"age": 2})
+        (second.path / "a.bin").write_bytes(b"torn!")
+        latest = manager.load_latest()
+        assert latest is not None and latest.meta == {"age": 1}
+
+    def test_missing_manifest_falls_back(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"a.bin": b"good"}, meta={"age": 1})
+        second = manager.save({"a.bin": b"newer"}, meta={"age": 2})
+        (second.path / "MANIFEST.NAME").unlink(missing_ok=True)
+        (second.path / "MANIFEST.json").unlink()
+        latest = manager.load_latest()
+        assert latest is not None and latest.meta == {"age": 1}
+
+    def test_everything_torn_loads_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        ckpt = manager.save({"a.bin": b"only"}, meta={})
+        (ckpt.path / "a.bin").unlink()
+        assert manager.load_latest() is None
+
+    def test_rejects_path_like_names(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ConfigError):
+            manager.save({"../evil": b""})
+        with pytest.raises(ConfigError):
+            manager.save({"MANIFEST.json": b""})
+
+    @pytest.mark.parametrize("scribble", [
+        '"a string, not an object"',
+        '{"version": 1, "seq": "x", "files": {}}',
+        '{"version": 1, "seq": 2, "files": {"a.bin": "not-a-dict"}}',
+        '{"version": 1, "seq": 2, "files": {"a.bin": {"bytes": "NaN"}}}',
+        '{"version": 1, "seq": 2, "meta": [], "files": {}}',
+    ])
+    def test_misshapen_manifest_falls_back(self, tmp_path, scribble):
+        """JSON that parses but has the wrong shape is torn state: the
+        walk must skip it, not crash with a TypeError."""
+        manager = CheckpointManager(tmp_path)
+        manager.save({"a.bin": b"good"}, meta={"age": 1})
+        second = manager.save({"a.bin": b"newer"}, meta={"age": 2})
+        (second.path / "MANIFEST.json").write_text(scribble)
+        latest = manager.load_latest()
+        assert latest is not None and latest.meta == {"age": 1}
+
+    def test_verified_blobs_are_cached(self, tmp_path):
+        """load() verifies each file once; consumer reads must not
+        re-read from disk (resume reads state.pkl right after load)."""
+        manager = CheckpointManager(tmp_path)
+        manager.save({"a.bin": b"payload"}, meta={})
+        latest = manager.load_latest()
+        (latest.path / "a.bin").unlink()
+        assert latest.read("a.bin") == b"payload"
+
+
+class TestFsComponents:
+    def test_filesystem_backend_has_one(self, file_store):
+        assert [label for label, _ in fs_components(file_store)] == ["vol0"]
+
+    def test_blob_backend_has_none(self, blob_store):
+        assert fs_components(blob_store) == []
+
+    def test_sharded_store_has_one_per_shard(self):
+        from repro.backends.registry import build_store
+        from repro.backends.spec import StoreSpec
+
+        store = build_store(StoreSpec("filesystem", volume_bytes=96 * MB,
+                                      shards=3))
+        labels = [label for label, _ in fs_components(store)]
+        assert labels == ["shard0", "shard1", "shard2"]
