@@ -26,11 +26,17 @@ implementations):
   :class:`StoreSpec`\\ s via the backend registry: a single-volume LFS
   baseline vs a 4-shard :class:`ShardedStore` (same aggregate
   capacity) vs the same sharded store with a C-LOOK
-  :class:`DevicePolicy` on batched read sweeps.  Reports **modelled
-  device time**: sharding shortens seeks (smaller per-shard volumes)
-  and the elevator shortens them further on the scattered aged-read
-  stream — the multi-volume + request-scheduling study the ROADMAP
-  calls for.
+  :class:`DevicePolicy` on batched read sweeps, vs all of that plus
+  ``overlap=true``.  Reports the modelled **summed device time** and
+  the overlap scheduler's **wall time** (per-shard lanes run
+  concurrently; see ``repro/disk/schedule.py``): sharding shortens
+  seeks, the elevator shortens them further, and overlap turns four
+  lanes into an actual multiple on the aged read sweep — the
+  multi-volume + request-scheduling study the ROADMAP calls for.
+* ``shard_skew`` — per-shard occupancy skew under hash placement on a
+  small mixed-size population, an aged read sweep either side of
+  ``ShardedStore.rebalance(mode="even")``; the bench raises if the
+  migration fails to reduce the max/min occupancy ratio.
 * ``checkpoint_resume`` — the persistence subsystem's parity check,
   run as a bench so CI smokes it and the committed baseline records
   the checkpoint cost: an aging run is checkpointed at every sampled
@@ -42,7 +48,7 @@ implementations):
   3-shard composite.
 
 Results go to ``BENCH_scale_volume.json`` (schema
-``bench-scale-volume/4``, documented in ``benchmarks/README.md``).
+``bench-scale-volume/5``, documented in ``benchmarks/README.md``).
 
 Usage::
 
@@ -106,7 +112,7 @@ QUICK_RESUME_VOLUME = 64 * MB
 RESUME_AGES = (0.0, 1.0, 2.0)
 
 SCENARIOS = ("fs_churn", "segment_store", "batched_writes",
-             "sharded_aging", "checkpoint_resume")
+             "sharded_aging", "shard_skew", "checkpoint_resume")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -253,7 +259,7 @@ def run_batched_writes(nrequests: int, batch: int,
 
 
 def run_sharded_aging(volume: int, seed: int = 17) -> list[dict]:
-    """Aged read device time: single volume vs shards vs shards+C-LOOK.
+    """Aged read time: single vs shards vs +C-LOOK vs +overlap.
 
     Every store is built from a :class:`StoreSpec` through the registry
     — the bench never names a backend class.  The workload is the aging
@@ -261,6 +267,14 @@ def run_sharded_aging(volume: int, seed: int = 17) -> list[dict]:
     age ``AGING_CHURN_AGE`` (scattering objects through the log), then
     a whole-population random read sweep through ``read_many``, whose
     batching/ordering the spec's :class:`DevicePolicy` governs.
+
+    Two time models per row: ``sweep_device_s`` sums device busy time
+    across volumes (the serial model) and ``sweep_wall_s`` is the
+    overlap scheduler's makespan (shard lanes run concurrently; equal
+    to the sum for stores without ``overlap=true``).  The
+    ``sharded_overlap`` config is the headline: four lanes plus the
+    elevator make the aged sweep's modelled *wall* time a multiple
+    lower than the single-volume baseline.
     """
     specs = [
         ("single", StoreSpec("lfs", volume_bytes=volume)),
@@ -268,6 +282,12 @@ def run_sharded_aging(volume: int, seed: int = 17) -> list[dict]:
                               shards=AGING_SHARDS)),
         ("sharded_clook", StoreSpec(
             "lfs", volume_bytes=volume, shards=AGING_SHARDS,
+            policy=DevicePolicy(batch_size=AGING_READ_BATCH,
+                                reorder="clook"),
+        )),
+        ("sharded_overlap", StoreSpec(
+            "lfs", volume_bytes=volume, shards=AGING_SHARDS,
+            overlap=True,
             policy=DevicePolicy(batch_size=AGING_READ_BATCH,
                                 reorder="clook"),
         )),
@@ -293,17 +313,22 @@ def run_sharded_aging(volume: int, seed: int = 17) -> list[dict]:
         sweep = list(keys)
         rng.shuffle(sweep)
         seeks_before = sum(d.stats.seeks for d in store.devices())
+        scheduler = getattr(store, "scheduler", None)
+        wall_before = scheduler.wall_time_s if scheduler else 0.0
         t0 = time.perf_counter()
         store.read_many(sweep)
         sweep_host_s = time.perf_counter() - t0
         sweep_device_s = sum(d.clock_s for d in store.devices()) \
             - churn_device_s
+        sweep_wall_s = (scheduler.wall_time_s - wall_before
+                        if scheduler else sweep_device_s)
         rows.append({
             "scenario": "sharded_aging",
             "config": label,
             "shards": spec.shards,
             "reorder": spec.policy.reorder,
             "read_batch": spec.policy.batch_size,
+            "overlap": spec.overlap,
             "volume_bytes": spec.volume_bytes,
             "objects": len(keys),
             "storage_age": AGING_CHURN_AGE,
@@ -311,12 +336,90 @@ def run_sharded_aging(volume: int, seed: int = 17) -> list[dict]:
             "sweep_reads": len(sweep),
             "sweep_host_seconds": round(sweep_host_s, 4),
             "sweep_device_s": round(sweep_device_s, 4),
+            "sweep_wall_s": round(sweep_wall_s, 4),
             "sweep_seeks": sum(d.stats.seeks for d in store.devices())
             - seeks_before,
             "modelled_device_s": round(
                 sum(d.clock_s for d in store.devices()), 4),
         })
     return rows
+
+
+def run_shard_skew(volume: int, seed: int = 19) -> list[dict]:
+    """Occupancy skew under hash placement, before/after rebalancing.
+
+    Hash placement spreads *many* keys evenly but a store of tens of
+    large objects gets real per-shard skew (law of small numbers) — the
+    production complaint rebalancing exists for.  The scenario loads a
+    mixed-size population onto a 4-shard overlapped store, measures the
+    max/min shard occupancy ratio and an aged whole-population read
+    sweep, then runs ``rebalance(mode="even")`` and measures both
+    again.  Reported: the skew ratio before/after, what migrated (all
+    I/O charged through the shards' normal submit paths), and the
+    sweep's summed vs overlapped time either side.
+    """
+    spec = StoreSpec("lfs", volume_bytes=volume, shards=AGING_SHARDS,
+                     overlap=True,
+                     policy=DevicePolicy(batch_size=AGING_READ_BATCH))
+    store = build_store(spec)
+    rng = random.Random(seed)
+    # Few, large, mixed-size objects: 2-8 MB scaled to ~45 % occupancy.
+    target = int(volume * 0.45)
+    keys: list[str] = []
+    loaded = 0
+    while True:
+        size = rng.randrange(8, 33) * (volume // 2048)
+        if loaded + size > target:
+            break
+        key = f"o{len(keys)}"
+        store.put(key, size=size)
+        keys.append(key)
+        loaded += size
+    for _ in range(len(keys)):
+        victim = rng.choice(keys)
+        store.overwrite(victim, size=store.meta(victim).size)
+
+    def sweep_times() -> tuple[float, float]:
+        order = list(keys)
+        rng.shuffle(order)
+        clock0 = sum(d.clock_s for d in store.devices())
+        wall0 = store.scheduler.wall_time_s
+        store.read_many(order)
+        return (sum(d.clock_s for d in store.devices()) - clock0,
+                store.scheduler.wall_time_s - wall0)
+
+    live_before = [s.live_bytes for s in store.shard_stats()]
+    skew_before = store.occupancy_skew()
+    device_before, wall_before = sweep_times()
+    t0 = time.perf_counter()
+    report = store.rebalance(mode="even")
+    rebalance_host_s = time.perf_counter() - t0
+    live_after = [s.live_bytes for s in store.shard_stats()]
+    skew_after = store.occupancy_skew()
+    device_after, wall_after = sweep_times()
+    if skew_after > skew_before:
+        raise AssertionError(
+            f"shard_skew: rebalance worsened occupancy skew "
+            f"({skew_before:.3f} -> {skew_after:.3f})"
+        )
+    return [{
+        "scenario": "shard_skew",
+        "shards": AGING_SHARDS,
+        "placement": spec.placement,
+        "volume_bytes": volume,
+        "objects": len(keys),
+        "live_bytes_per_shard_before": live_before,
+        "live_bytes_per_shard_after": live_after,
+        "occupancy_skew_before": round(skew_before, 4),
+        "occupancy_skew_after": round(skew_after, 4),
+        "moved_objects": report.moved_objects,
+        "moved_bytes": report.moved_bytes,
+        "rebalance_host_seconds": round(rebalance_host_s, 4),
+        "sweep_device_s_before": round(device_before, 4),
+        "sweep_wall_s_before": round(wall_before, 4),
+        "sweep_device_s_after": round(device_after, 4),
+        "sweep_wall_s_after": round(wall_after, 4),
+    }]
 
 
 def run_checkpoint_resume(volume: int, seed: int = 23) -> list[dict]:
@@ -449,6 +552,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"... sharded_aging @ {aging_volume // MB} MB volume, "
               f"{AGING_SHARDS} shards", flush=True)
         rows.extend(run_sharded_aging(aging_volume))
+    if "shard_skew" in scenarios:
+        skew_volume = args.aging_volume or (
+            QUICK_AGING_VOLUME if args.quick else AGING_VOLUME)
+        print(f"... shard_skew @ {skew_volume // MB} MB volume, "
+              f"{AGING_SHARDS} shards", flush=True)
+        rows.extend(run_shard_skew(skew_volume))
     if "checkpoint_resume" in scenarios:
         resume_volume = QUICK_RESUME_VOLUME if args.quick else RESUME_VOLUME
         print(f"... checkpoint_resume @ {resume_volume // MB} MB volume",
@@ -478,9 +587,19 @@ def main(argv: list[str] | None = None) -> int:
         if clook_s > 0:
             speedups["sharded_clook_read_device_time"] = round(
                 aging["single"]["sweep_device_s"] / clook_s, 2)
+    if {"single", "sharded_overlap"} <= aging.keys():
+        overlap_wall = aging["sharded_overlap"]["sweep_wall_s"]
+        if overlap_wall > 0:
+            speedups["sharded_overlap_read_wall_time"] = round(
+                aging["single"]["sweep_device_s"] / overlap_wall, 2)
+    skew = [r for r in rows if r.get("scenario") == "shard_skew"]
+    if skew and skew[0]["occupancy_skew_after"] > 0:
+        speedups["shard_skew_reduction"] = round(
+            skew[0]["occupancy_skew_before"]
+            / skew[0]["occupancy_skew_after"], 2)
 
     report = {
-        "schema": "bench-scale-volume/4",
+        "schema": "bench-scale-volume/5",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -530,13 +649,21 @@ def main(argv: list[str] | None = None) -> int:
     aging_rows = [r for r in rows if r.get("scenario") == "sharded_aging"]
     if aging_rows:
         print(f"\n{'config':>15s} {'shards':>6s} {'reorder':>8s} "
-              f"{'objects':>8s} {'sweep dev s':>12s} {'sweep seeks':>12s} "
-              f"{'total dev s':>12s}")
+              f"{'objects':>8s} {'sweep dev s':>12s} {'sweep wall s':>13s} "
+              f"{'sweep seeks':>12s}")
         for r in aging_rows:
             print(f"{r['config']:>15s} {r['shards']:>6d} "
                   f"{r['reorder']:>8s} {r['objects']:>8d} "
-                  f"{r['sweep_device_s']:>12.3f} {r['sweep_seeks']:>12d} "
-                  f"{r['modelled_device_s']:>12.2f}")
+                  f"{r['sweep_device_s']:>12.3f} "
+                  f"{r['sweep_wall_s']:>13.3f} {r['sweep_seeks']:>12d}")
+    for r in (r for r in rows if r.get("scenario") == "shard_skew"):
+        print(f"\nshard_skew: {r['objects']} objects on {r['shards']} "
+              f"shards, skew {r['occupancy_skew_before']:.3f} -> "
+              f"{r['occupancy_skew_after']:.3f} after moving "
+              f"{r['moved_objects']} objects "
+              f"({r['moved_bytes'] // MB} MB); aged sweep wall "
+              f"{r['sweep_wall_s_before']:.3f}s -> "
+              f"{r['sweep_wall_s_after']:.3f}s")
     resume_rows = [r for r in rows
                    if r.get("scenario") == "checkpoint_resume"]
     if resume_rows:

@@ -34,6 +34,12 @@ class StoreStats:
     live_bytes: int
     free_bytes: int
     capacity: int
+    #: Objects/bytes moved between shards by rebalancing so far; always
+    #: zero for single-volume stores.  Migration I/O also lands in the
+    #: devices' IoStats through the ordinary submit path — these fields
+    #: attribute how much of it was migration.
+    migrated_objects: int = 0
+    migrated_bytes: int = 0
 
     @property
     def occupancy(self) -> float:
@@ -118,6 +124,13 @@ class ObjectStore(Protocol):
 class MeasurementWindows:
     """Open one named window per device and aggregate them on close.
 
+    When the store runs an overlap scheduler (a ``scheduler``
+    attribute, see :mod:`repro.disk.schedule`), a scheduler window is
+    opened alongside and the combined window's ``wall_time_s`` carries
+    the phase's overlapped wall time (device makespan plus serial host
+    CPU); without one, ``wall_time_s`` stays ``None`` and wall time
+    equals the summed total.
+
     Usage::
 
         win = MeasurementWindows.open(store, "bulk-load")
@@ -130,6 +143,11 @@ class MeasurementWindows:
         self._pairs = [
             (dev, dev.stats.start_window(name)) for dev in store.devices()
         ]
+        self._scheduler = getattr(store, "scheduler", None)
+        self._sched_window = (
+            self._scheduler.start_window(name)
+            if self._scheduler is not None else None
+        )
 
     @classmethod
     def open(cls, store: ObjectStore, name: str) -> "MeasurementWindows":
@@ -146,4 +164,9 @@ class MeasurementWindows:
             combined.cpu_time_s += win.cpu_time_s
             combined.seeks += win.seeks
             combined.requests += win.requests
+        if self._sched_window is not None:
+            self._scheduler.end_window(self._sched_window)
+            # Device lanes overlap; host CPU time stays serial.
+            combined.wall_time_s = (self._sched_window.wall_time_s
+                                    + combined.cpu_time_s)
         return combined

@@ -160,6 +160,11 @@ def resolve_spec(spec: StoreSpec) -> StoreSpec:
                        options=tuple(sorted(options.items())),
                        shards=spec.shards if spec.shards > 1 else 2)
         info = inner_info
+    if spec.overlap and spec.shards <= 1:
+        raise ConfigError(
+            "overlap=true needs shards > 1 (the overlap model schedules "
+            "per-shard device lanes; a single volume has one lane)"
+        )
     converted = {}
     for name, value in spec.options:
         converter = info.options.get(name)
@@ -187,7 +192,10 @@ def build_store(spec: StoreSpec) -> ObjectStore:
 
         shards = [build_store(sub) for sub in spec.shard_specs()]
         return ShardedStore(shards, placement=spec.placement,
-                            band_bytes=spec.band_bytes)
+                            band_bytes=spec.band_bytes,
+                            overlap=spec.overlap,
+                            parallelism=spec.parallelism,
+                            dispatch_overhead_s=spec.dispatch_overhead_s)
     info = backend_info(spec.backend)
     device = BlockDevice(scaled_disk(spec.volume_bytes),
                          store_data=spec.store_data, policy=spec.policy)

@@ -33,20 +33,64 @@ devices (so measurement windows span all volumes), and
 :meth:`object_extents` reports the owning shard's extents (offsets are
 per-shard device addresses; fragment counts coalesce within one object
 and therefore within one shard, so reports stay exact).
+
+Overlapping device time
+-----------------------
+With ``overlap=True`` the composite runs a
+:class:`~repro.disk.schedule.ShardScheduler`: every store operation is
+one *dispatch round* whose per-shard device-time deltas are lanes that
+overlap (fan-out calls like :meth:`read_many` put every touched shard
+in one round; single-shard ops are one-lane rounds).  The scheduler's
+accumulated makespan is the store's overlapped wall time, reported by
+measurement windows alongside the historical summed device time — the
+concurrency model that makes ``--shards 4`` an actual speedup instead
+of four summed seek streams.
+
+Rebalancing
+-----------
+:meth:`rebalance` migrates objects between shards — ``mode="even"``
+greedily moves objects from the fullest to the emptiest shard until no
+move narrows the spread (the occupancy-skew fix for unlucky hash
+placement), ``mode="placement"`` re-applies the placement policy to
+every key (healing drift from delete/re-put under ``round_robin`` or
+resized bands).  Migration copies before it deletes, so every object
+stays readable mid-migration; all migration I/O is charged through the
+shards' normal get/put paths and surfaces in
+:attr:`StoreStats.migrated_objects` / ``migrated_bytes``.  The key →
+shard map only has values updated, never reinserted, so the
+:meth:`keys` insertion-order contract survives any rebalance.
 """
 
 from __future__ import annotations
 
+import contextlib
 import zlib
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.alloc.extent import Extent
 from repro.backends.base import ObjectMeta, ObjectStore, StoreStats
 from repro.backends.registry import register_backend
 from repro.backends.spec import PLACEMENTS, StoreSpec
 from repro.disk.device import BlockDevice
+from repro.disk.schedule import ShardScheduler
 from repro.errors import ConfigError, ObjectNotFoundError
 from repro.units import MB
+
+#: Supported :meth:`ShardedStore.rebalance` modes.
+REBALANCE_MODES = ("even", "placement")
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one :meth:`ShardedStore.rebalance` call did."""
+
+    mode: str
+    moved_objects: int
+    moved_bytes: int
+    #: max/min per-shard occupancy before and after the migration.
+    skew_before: float
+    skew_after: float
 
 
 class ShardedStore:
@@ -54,7 +98,10 @@ class ShardedStore:
 
     def __init__(self, shards: Sequence[ObjectStore], *,
                  placement: str = "hash",
-                 band_bytes: int = 1 * MB) -> None:
+                 band_bytes: int = 1 * MB,
+                 overlap: bool = False,
+                 parallelism: int = 0,
+                 dispatch_overhead_s: float = 0.0) -> None:
         if len(shards) < 2:
             raise ConfigError("a sharded store needs at least two shards")
         if placement not in PLACEMENTS:
@@ -72,6 +119,41 @@ class ShardedStore:
         #: key -> shard index; insertion order IS the composite key order.
         self._shard_of: dict[str, int] = {}
         self._rr_next = 0
+        #: Overlap scheduler (None = historical summed-time model).
+        self.scheduler = ShardScheduler(
+            parallelism=parallelism,
+            dispatch_overhead_s=dispatch_overhead_s,
+        ) if overlap else None
+        #: Per-shard device lists, cached: lane time deltas are read on
+        #: every dispatch round and the lists never change.
+        self._lane_devices = [list(s.devices()) for s in self.shards]
+        self.migrated_objects = 0
+        self.migrated_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch rounds (overlap model)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _dispatch(self, indices: Sequence[int]):
+        """One scheduler round over the given shard lanes.
+
+        Captures each involved shard's device-clock delta across the
+        wrapped operation and records the round's makespan; a no-op
+        when the overlap model is off.
+        """
+        sched = self.scheduler
+        if sched is None:
+            yield
+            return
+        lanes = [self._lane_devices[i] for i in indices]
+        before = [sum(d.clock_s for d in devs) for devs in lanes]
+        try:
+            yield
+        finally:
+            sched.record_round([
+                sum(d.clock_s for d in devs) - b
+                for devs, b in zip(lanes, before)
+            ])
 
     # ------------------------------------------------------------------
     # Placement
@@ -111,26 +193,33 @@ class ShardedStore:
         index = self._shard_of.get(key)
         if index is None:
             index = self._place(key, total)
-        if data is not None:
-            self.shards[index].put(key, data=data)
-        else:
-            self.shards[index].put(key, size=total)
+        with self._dispatch((index,)):
+            if data is not None:
+                self.shards[index].put(key, data=data)
+            else:
+                self.shards[index].put(key, size=total)
         self._shard_of[key] = index
 
     def get(self, key: str, offset: int = 0,
             length: int | None = None) -> bytes | None:
-        return self.shards[self.shard_for(key)].get(key, offset, length)
+        index = self.shard_for(key)
+        with self._dispatch((index,)):
+            return self.shards[index].get(key, offset, length)
 
     def overwrite(self, key: str, *, size: int | None = None,
                   data: bytes | None = None) -> None:
-        shard = self.shards[self.shard_for(key)]
-        if data is not None:
-            shard.overwrite(key, data=data)
-        else:
-            shard.overwrite(key, size=size)
+        index = self.shard_for(key)
+        shard = self.shards[index]
+        with self._dispatch((index,)):
+            if data is not None:
+                shard.overwrite(key, data=data)
+            else:
+                shard.overwrite(key, size=size)
 
     def delete(self, key: str) -> None:
-        self.shards[self.shard_for(key)].delete(key)
+        index = self.shard_for(key)
+        with self._dispatch((index,)):
+            self.shards[index].delete(key)
         del self._shard_of[key]
 
     def exists(self, key: str) -> bool:
@@ -147,12 +236,15 @@ class ShardedStore:
         for pos, key in enumerate(keys):
             by_shard.setdefault(self.shard_for(key), []).append((pos, key))
         results: list[bytes | None] = [None] * len(keys)
-        for index, members in by_shard.items():
-            shard_results = self.shards[index].read_many(
-                [key for _, key in members]
-            )
-            for (pos, _), value in zip(members, shard_results):
-                results[pos] = value
+        # One fan-out = one dispatch round: every touched shard serves
+        # its sub-sweep on its own devices, so the lanes overlap.
+        with self._dispatch(tuple(by_shard)):
+            for index, members in by_shard.items():
+                shard_results = self.shards[index].read_many(
+                    [key for _, key in members]
+                )
+                for (pos, _), value in zip(members, shard_results):
+                    results[pos] = value
         return results
 
     def object_extents(self, key: str) -> list[Extent]:
@@ -169,13 +261,145 @@ class ShardedStore:
 
     def store_stats(self) -> StoreStats:
         totals = StoreStats(objects=0, live_bytes=0, free_bytes=0,
-                            capacity=0)
+                            capacity=0,
+                            migrated_objects=self.migrated_objects,
+                            migrated_bytes=self.migrated_bytes)
         for stats in self.shard_stats():
             totals.objects += stats.objects
             totals.live_bytes += stats.live_bytes
             totals.free_bytes += stats.free_bytes
             totals.capacity += stats.capacity
         return totals
+
+    # ------------------------------------------------------------------
+    # Rebalancing / migration
+    # ------------------------------------------------------------------
+    def occupancy_skew(self) -> float:
+        """max/min per-shard occupancy (``inf`` when a shard is empty
+        while another holds data; 1.0 for a perfectly even or idle
+        store)."""
+        occupancies = [stats.occupancy for stats in self.shard_stats()]
+        hi, lo = max(occupancies), min(occupancies)
+        if lo <= 0.0:
+            return float("inf") if hi > 0.0 else 1.0
+        return hi / lo
+
+    def rebalance(self, *, mode: str = "even",
+                  on_move=None) -> RebalanceReport:
+        """Migrate objects between shards; returns what moved.
+
+        ``mode="even"`` greedily narrows the live-byte spread: move the
+        object from the fullest shard whose size best splits the gap to
+        the emptiest shard, until no single move improves the spread.
+        ``mode="placement"`` re-applies the placement policy to every
+        key in composite key order and moves whatever landed elsewhere
+        (``round_robin`` redeals the rotation from shard 0).
+
+        Every migration copies to the target shard *before* deleting
+        from the source and only then updates the routing map, so
+        concurrent readers — including an ``on_move(key, src, dst)``
+        callback fired mid-migration — always find the object.  All
+        migration I/O goes through the shards' ordinary ``get``/``put``
+        paths (and, under the overlap model, one two-lane dispatch
+        round per object).
+        """
+        if mode not in REBALANCE_MODES:
+            raise ConfigError(
+                f"unknown rebalance mode {mode!r}; "
+                f"choose from {REBALANCE_MODES}"
+            )
+        skew_before = self.occupancy_skew()
+        sizes = {key: self.shards[index].meta(key).size
+                 for key, index in self._shard_of.items()}
+        if mode == "placement":
+            moves = self._plan_placement(sizes)
+        else:
+            moves = self._plan_even(sizes)
+        moved_bytes = 0
+        for key, src, dst in moves:
+            moved_bytes += self._migrate(key, sizes[key], src, dst,
+                                         on_move)
+        return RebalanceReport(
+            mode=mode,
+            moved_objects=len(moves),
+            moved_bytes=moved_bytes,
+            skew_before=skew_before,
+            skew_after=self.occupancy_skew(),
+        )
+
+    def _plan_placement(self, sizes: dict[str, int]) -> list:
+        """Moves that restore the placement policy's shard choice."""
+        moves = []
+        rr = 0
+        for key, current in self._shard_of.items():
+            if self.placement == "round_robin":
+                desired = rr % len(self.shards)
+                rr += 1
+            else:
+                desired = self._place(key, sizes[key])
+            if desired != current:
+                moves.append((key, current, desired))
+        if self.placement == "round_robin":
+            self._rr_next = rr
+        return moves
+
+    def _plan_even(self, sizes: dict[str, int]) -> list:
+        """Greedy spread-narrowing moves over live bytes.
+
+        Each step moves one object from the fullest to the emptiest
+        shard, picking the size closest to half their gap (the move
+        that most evens the pair); a move is only taken when it
+        strictly narrows the gap, so the plan terminates and never
+        oscillates.
+        """
+        live = [0] * len(self.shards)
+        members: list[dict[str, int]] = [{} for _ in self.shards]
+        for key, index in self._shard_of.items():
+            live[index] += sizes[key]
+            members[index][key] = sizes[key]
+        moves = []
+        for _ in range(2 * len(sizes) + len(self.shards)):
+            src = max(range(len(live)), key=live.__getitem__)
+            dst = min(range(len(live)), key=live.__getitem__)
+            gap = live[src] - live[dst]
+            if gap <= 0:
+                break
+            best = min(
+                (key for key, size in members[src].items()
+                 if 0 < size < gap),
+                key=lambda key: abs(gap - 2 * members[src][key]),
+                default=None,
+            )
+            if best is None:
+                break
+            size = members[src].pop(best)
+            members[dst][best] = size
+            live[src] -= size
+            live[dst] += size
+            moves.append((best, src, dst))
+        return moves
+
+    def _migrate(self, key: str, size: int, src_index: int,
+                 dst_index: int, on_move) -> int:
+        """Copy ``key`` to its new shard, re-route, then delete."""
+        src = self.shards[src_index]
+        dst = self.shards[dst_index]
+        with self._dispatch((src_index, dst_index)):
+            data = src.get(key)
+            if data is not None:
+                dst.put(key, data=data)
+            else:
+                dst.put(key, size=size)
+            # Routing flips only once the copy is complete; a dict
+            # value update keeps the key's position, preserving the
+            # keys() insertion-order contract.
+            self._shard_of[key] = dst_index
+            if on_move is not None:
+                on_move(key, src_index, dst_index)
+            src.delete(key)
+        self.migrated_objects += 1
+        self.migrated_bytes += size
+        return size
 
     # ------------------------------------------------------------------
     # Introspection

@@ -15,15 +15,19 @@ Specs have a flag-friendly text form, used by ``--store``::
     lfs:reorder=clook,batch=16
     filesystem:index_kind=naive,size_hints=true
     gfs:chunk_size=8M,volume=512M,shards=4,placement=hash
+    sharded:overlap=true,parallelism=4
+    lfs:shards=4,overlap=true,batch=16,reorder=clook
 
 The keys ``volume``, ``write_request``, ``store_data``, ``reorder``,
-``batch``, ``shards``, and ``placement`` set spec-level fields; every
+``batch``, ``shards``, ``placement``, ``band_bytes``, ``overlap``,
+``parallelism``, and ``dispatch_overhead`` set spec-level fields; every
 other key is a backend option, validated against the backend's
 declared option set at build time.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
@@ -85,6 +89,15 @@ class StoreSpec:
     placement: str = "hash"
     #: First size band for ``size_banded`` placement (bands double).
     band_bytes: int = 1024 * 1024
+    #: Overlap-aware time model: shard device times within one dispatch
+    #: round overlap (see :mod:`repro.disk.schedule`) instead of
+    #: summing.  Only meaningful with ``shards > 1``.
+    overlap: bool = False
+    #: Lanes served concurrently per dispatch round (0 = one worker per
+    #: shard lane; 1 reproduces the summed model exactly).
+    parallelism: int = 0
+    #: Fixed per-round dispatch overhead charged by the scheduler.
+    dispatch_overhead_s: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.backend:
@@ -102,6 +115,13 @@ class StoreSpec:
             )
         if self.band_bytes <= 0:
             raise ConfigError("band_bytes must be positive")
+        if self.parallelism < 0:
+            raise ConfigError("parallelism must be >= 0 (0 = unbounded)")
+        if not (math.isfinite(self.dispatch_overhead_s)
+                and self.dispatch_overhead_s >= 0):
+            raise ConfigError(
+                "dispatch_overhead_s must be a finite value >= 0"
+            )
         opts = self.options
         if isinstance(opts, Mapping):
             opts = tuple(sorted(opts.items()))
@@ -153,7 +173,10 @@ class StoreSpec:
                 f"volume of {self.volume_bytes} bytes cannot split "
                 f"into {self.shards} shards"
             )
-        return [replace(self, shards=1, volume_bytes=per_shard)
+        # Overlap is a property of the composite's dispatch loop, not of
+        # the individual shards — sub-specs must not re-trigger it.
+        return [replace(self, shards=1, volume_bytes=per_shard,
+                        overlap=False)
                 for _ in range(self.shards)]
 
     # ------------------------------------------------------------------
@@ -171,6 +194,9 @@ class StoreSpec:
             "shards": self.shards,
             "placement": self.placement,
             "band_bytes": self.band_bytes,
+            "overlap": self.overlap,
+            "parallelism": self.parallelism,
+            "dispatch_overhead_s": self.dispatch_overhead_s,
         }
 
     # ------------------------------------------------------------------
@@ -227,6 +253,18 @@ class StoreSpec:
                 fields["placement"] = value
             elif key == "band_bytes":
                 fields["band_bytes"] = _parse_bytes(value)
+            elif key == "overlap":
+                fields["overlap"] = _parse_bool(value)
+            elif key == "parallelism":
+                fields["parallelism"] = _parse_int(value, key)
+            elif key == "dispatch_overhead":
+                try:
+                    fields["dispatch_overhead_s"] = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad dispatch_overhead {value!r}; expected "
+                        "seconds as a float"
+                    ) from None
             else:
                 options[key] = value
         if batch_size is not None or reorder is not None:

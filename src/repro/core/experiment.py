@@ -55,7 +55,10 @@ from repro.rng import substream
 from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 
 #: Manifest tag of experiment checkpoints (see ``_save_checkpoint``).
-CHECKPOINT_SCHEMA = "run-checkpoint/1"
+#: Bumped to /2 when the config record grew ``rebalance_ages`` and
+#: samples grew wall-time fields: pre-/2 checkpoints hash differently
+#: and must be refused with a schema error, not a config mismatch.
+CHECKPOINT_SCHEMA = "run-checkpoint/2"
 
 #: Every registered backend, derived from the registry — not a
 #: hand-maintained tuple.  Includes the ``sharded`` composite.
@@ -103,6 +106,11 @@ class ExperimentConfig:
     #: Declarative store description; when set, it is authoritative for
     #: everything the legacy per-backend fields used to carry.
     store: StoreSpec | None = None
+    #: Sampled ages after which the driver rebalances a sharded store
+    #: (mode="even" occupancy-levelling migration; see
+    #: :meth:`repro.backends.sharded.ShardedStore.rebalance`).  Must be
+    #: a subset of ``ages``; ignored-with-error for unsharded stores.
+    rebalance_ages: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.sizes is None:
@@ -132,6 +140,18 @@ class ExperimentConfig:
             )
         if not self.ages or list(self.ages) != sorted(self.ages):
             raise ConfigError("ages must be a non-empty ascending sequence")
+        if self.rebalance_ages:
+            missing = set(self.rebalance_ages) - set(self.ages)
+            if missing:
+                raise ConfigError(
+                    f"rebalance_ages {sorted(missing)} are not sampled "
+                    "ages; rebalancing happens after a sample"
+                )
+            resolved = self.resolved_spec()
+            if resolved.shards <= 1 and resolved.backend != "sharded":
+                raise ConfigError(
+                    "rebalance_ages needs a sharded store (shards > 1)"
+                )
         if self.index_kind is not None and self.index_kind not in INDEX_KINDS:
             raise ConfigError(
                 f"unknown index_kind {self.index_kind!r}; "
@@ -187,6 +207,7 @@ class ExperimentConfig:
             "seed": self.seed,
             "size_hints": self.size_hints,
             "index_kind": self.effective_index_kind(),
+            "rebalance_ages": list(self.rebalance_ages),
             # The fully resolved spec (converted options, desugared
             # composite, device policy, shard layout) so a result file
             # alone attributes any ablation.
@@ -315,6 +336,14 @@ class ExperimentRunner:
                 self._sample(store, state, target_age,
                              last_write_mbps, read_rng)
             )
+            if target_age in cfg.rebalance_ages:
+                # Occupancy-levelling migration between shards; happens
+                # after the sample (so the sample sees the skewed
+                # layout) and before the checkpoint (so a resume lands
+                # on the rebalanced store, reproducing the
+                # uninterrupted run exactly).
+                self._notify("rebalance", target_age)
+                store.rebalance(mode="even")
             done_ages.append(target_age)
             if manager is not None:
                 self._save_checkpoint(manager, result, read_rng,
@@ -413,6 +442,9 @@ class ExperimentRunner:
             occupancy=store.store_stats().occupancy,
             overwrites=state.tracker.overwrites,
             seeks_per_read=read.seeks / reads,
+            read_wall_mbps=read.wall_mbps,
+            read_device_s=read.elapsed_s,
+            read_wall_s=read.wall_s,
         )
 
 

@@ -33,6 +33,16 @@ class AgeSample:
     occupancy: float
     overwrites: int
     seeks_per_read: float = 0.0
+    #: Read throughput over the *overlapped* wall-time model (shard
+    #: device lanes run concurrently; see repro.disk.schedule).  Equals
+    #: ``read_mbps`` — the summed serial model — for single-volume
+    #: stores and sharded stores without ``overlap=true``, so records
+    #: always report both time models side by side.
+    read_wall_mbps: float = 0.0
+    #: Summed device+CPU seconds and overlapped wall seconds of the
+    #: read sweep behind ``read_mbps``/``read_wall_mbps``.
+    read_device_s: float = 0.0
+    read_wall_s: float = 0.0
 
     def row(self) -> dict[str, float]:
         return {

@@ -22,6 +22,7 @@ from random import Random
 from repro.backends.base import MeasurementWindows, ObjectStore
 from repro.core.workload import WorkloadState, read_sweep
 from repro.disk.iostats import WindowStats
+from repro.errors import ConfigError
 from repro.units import MB
 
 
@@ -35,7 +36,14 @@ class PhaseResult:
 
     @property
     def elapsed_s(self) -> float:
+        """Serial-model elapsed time: device busy summed + host CPU."""
         return self.window.total_time_s
+
+    @property
+    def wall_s(self) -> float:
+        """Overlapped wall time when the store models overlap (shard
+        lanes run concurrently), else identical to :attr:`elapsed_s`."""
+        return self.window.elapsed_wall_s
 
     @property
     def mbps(self) -> float:
@@ -43,6 +51,14 @@ class PhaseResult:
         if self.elapsed_s <= 0:
             return 0.0
         return self.logical_bytes / self.elapsed_s
+
+    @property
+    def wall_mbps(self) -> float:
+        """Throughput over overlapped wall time (== :attr:`mbps` for
+        single-volume stores)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.logical_bytes / self.wall_s
 
     @property
     def mbps_mb(self) -> float:
@@ -85,12 +101,53 @@ def measure(store: ObjectStore, name: str) -> Iterator[_PhaseHandle]:
         )
 
 
+def _default_policy(store: ObjectStore) -> bool:
+    """True when every device runs the default (no batch, no reorder)
+    submission policy, i.e. ``read_many`` would cost exactly what
+    per-object gets cost."""
+    for dev in store.devices():
+        policy = dev.policy
+        if policy.batch_size or policy.reorder_flag:
+            return False
+    return True
+
+
 def measure_read_throughput(store: ObjectStore, state: WorkloadState,
                             nreads: int,
-                            rng: Random | None = None) -> PhaseResult:
-    """Random whole-object read sweep (the Figure 1 measurement)."""
+                            rng: Random | None = None, *,
+                            via_read_many: bool | None = None
+                            ) -> PhaseResult:
+    """Random whole-object read sweep (the Figure 1 measurement).
+
+    Policy-aware: when the store's :class:`~repro.disk.policy.
+    DevicePolicy` asks for batching or elevator reordering, or the
+    store models overlapped shard lanes, the sweep routes through
+    :meth:`ObjectStore.read_many` so the policy actually governs the
+    measured I/O (the Figure 1/4 path for request-scheduling and
+    sharding studies).  With the default policy the sweep keeps the
+    historical per-object ``get`` loop — cost-identical by the
+    device's batching contract, and asserted so by the parity suite.
+    ``via_read_many`` forces either path explicitly.
+
+    Both paths draw the same keys from ``rng``, so the measured object
+    population is identical whichever path runs.
+    """
+    if via_read_many is None:
+        via_read_many = (getattr(store, "scheduler", None) is not None
+                         or not _default_policy(store))
+    if not via_read_many:
+        with measure(store, "read-sweep") as phase:
+            phase.add_bytes(read_sweep(store, state, nreads, rng))
+        assert phase.result is not None
+        return phase.result
+    if nreads <= 0:
+        raise ConfigError("nreads must be positive")
+    rng = rng or state.rng
+    keys = [rng.choice(state.keys) for _ in range(nreads)]
     with measure(store, "read-sweep") as phase:
-        phase.add_bytes(read_sweep(store, state, nreads, rng))
+        for key in keys:
+            phase.add_bytes(store.meta(key).size)
+        store.read_many(keys)
     assert phase.result is not None
     return phase.result
 

@@ -164,14 +164,18 @@ class BlobStore:
         return raw[skip: skip + length]
 
     def delete(self, blob_id: int) -> None:
-        """Delete a BLOB; its pages ghost until the cleaner sweeps."""
+        """Delete a BLOB; its pages ghost until the cleaner sweeps.
+
+        The pages ride the WAL's ghost record and reach the cleaner
+        only when the deleting transaction's commit is forced — freed
+        space is never reallocatable before the delete is durable.
+        """
         record = self._blobs.pop(self._lookup(blob_id).blob_id)
         data_runs = record.tree.destroy()  # node pages free via callback
         pages: list[int] = []
         for start, count in data_runs:
             pages.extend(range(start, start + count))
-        self.ghost.ghost_pages(pages)
-        self.wal.log_operation()
+        self.wal.log_ghost(pages, token=blob_id)
 
     def size_of(self, blob_id: int) -> int:
         return self._lookup(blob_id).size
@@ -262,8 +266,7 @@ class BlobStore:
         pages: list[int] = []
         for start, count in removed:
             pages.extend(range(start, start + count))
-        self.ghost.ghost_pages(pages)
-        self.wal.log_operation()
+        self.wal.log_ghost(pages, token=blob_id)
         self.ghost.on_operation()
         record.size -= length
 

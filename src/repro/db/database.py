@@ -86,6 +86,13 @@ class SimDatabase:
             max_pages_per_sweep=self.config.ghost_max_pages_per_sweep,
             min_age_ops=self.config.ghost_min_age_ops,
         )
+        # Deletes ghost their pages *through* the log: the cleaner sees
+        # them only once the deleting commit is forced (Section 2's
+        # deferred-free rule, enforced by construction).
+        self.wal.on_publish = self.ghost.ghost_pages
+        #: Pages of rolled-back (uncommitted) deletes found by crash
+        #: recovery: still allocated, never freeable — the row survived.
+        self.rolled_back_pages: list[int] = []
         self.pool = BufferPool(self.pagefile,
                                capacity_pages=self.config.buffer_pool_pages)
         self.blobs = BlobStore(self.gam, self.pagefile, self.wal, self.ghost,
@@ -155,10 +162,31 @@ class SimDatabase:
         self.data_device.flush()
 
     def checkpoint(self) -> None:
-        """Flush dirty metadata pages and drain ghost pages."""
+        """Flush dirty metadata pages and drain ghost pages.
+
+        The commit runs before the drain: forcing the log publishes any
+        buffered ghost records to the cleaner, so the drain reclaims the
+        whole durable backlog.
+        """
         self.pool.flush_all()
-        self.ghost.drain()
         self.commit()
+        self.ghost.drain()
+
+    def recover_after_crash(self):
+        """Restart after a crash: redo durable ghost records, roll back
+        the rest.
+
+        Ghost records whose commit forced but whose cleaner hand-off was
+        lost are republished (the cleaner will deallocate them); records
+        never forced are rolled back — on a real server those rows still
+        exist, so their pages stay allocated and are tracked in
+        :attr:`rolled_back_pages` (never freed; the invariant the
+        WAL kill-point matrix asserts).  Returns the
+        :class:`~repro.db.wal.WalRecoveryReport`.
+        """
+        report = self.wal.recover()
+        self.rolled_back_pages.extend(report.discarded_pages())
+        return report
 
     # ------------------------------------------------------------------
     # Introspection

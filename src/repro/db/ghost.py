@@ -65,6 +65,10 @@ class GhostCleaner:
         self.ghosted_pages = 0
         self.cleaned_pages = 0
         self.sweeps = 0
+        #: Optional fault-injection hook called at the top of every
+        #: sweep (the ghost-record deallocation boundary); raising
+        #: aborts the sweep before any page is freed.
+        self.crash_hook = None
 
     # ------------------------------------------------------------------
     def ghost_pages(self, page_nos: list[int]) -> None:
@@ -88,6 +92,8 @@ class GhostCleaner:
     def sweep(self, *, ignore_age: bool = False,
               max_pages: int | None = None) -> int:
         """Deallocate one batch from the backlog head; returns count."""
+        if self.crash_hook is not None:
+            self.crash_hook("ghost:sweep")
         budget = max_pages if max_pages is not None \
             else self.max_pages_per_sweep
         released = 0
@@ -115,3 +121,7 @@ class GhostCleaner:
     @property
     def pending_pages(self) -> int:
         return len(self._queue)
+
+    def queued_page_numbers(self) -> set[int]:
+        """The ghosted-not-yet-freed pages (for invariant checks)."""
+        return {page_no for _, page_no in self._queue}

@@ -31,6 +31,11 @@ class WindowStats:
     cpu_time_s: float = 0.0
     seeks: int = 0
     requests: int = 0
+    #: Overlapped wall time for the window, set by
+    #: :class:`~repro.backends.base.MeasurementWindows` when the store
+    #: runs a :class:`~repro.disk.schedule.ShardScheduler`; ``None``
+    #: means no overlap model applies and wall time equals the sum.
+    wall_time_s: float | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -38,12 +43,22 @@ class WindowStats:
 
     @property
     def total_time_s(self) -> float:
-        """Modelled wall time: device busy time plus host CPU time.
+        """Modelled elapsed time under the *serial* model: device busy
+        time summed across devices plus host CPU time.
 
         The workload is synchronous and single-threaded (one outstanding
-        request, as in the paper's test app), so times add.
+        request, as in the paper's test app), so times add.  For
+        multi-volume stores with an overlap scheduler, the overlapped
+        alternative is :attr:`elapsed_wall_s`.
         """
         return self.read_time_s + self.write_time_s + self.cpu_time_s
+
+    @property
+    def elapsed_wall_s(self) -> float:
+        """Overlapped wall time when modelled, else the summed time."""
+        if self.wall_time_s is None:
+            return self.total_time_s
+        return self.wall_time_s
 
     def read_throughput(self) -> float:
         """Read bytes per second of modelled read busy time (0 if idle)."""
