@@ -37,6 +37,16 @@ implementations):
   small mixed-size population, an aged read sweep either side of
   ``ShardedStore.rebalance(mode="even")``; the bench raises if the
   migration fails to reduce the max/min occupancy ratio.
+* ``degraded_aging`` — the fault-tolerance story end to end: a
+  4-shard overlapped store with ``replicas=2`` is aged, then shard 1
+  is killed and the same whole-population read sweep is measured
+  healthy, degraded (every lost-primary key served by its replica via
+  the per-key failover path), *while* a throttled background
+  ``rebuild(rate=0.25)`` interleaves copy slices with reads, and after
+  the rebuild restored full redundancy.  The bench raises if any
+  object becomes unreadable at any phase or if the rebuild leaves
+  under-replicated keys — the committed baseline is the regression
+  gate for degraded operation.
 * ``checkpoint_resume`` — the persistence subsystem's parity check,
   run as a bench so CI smokes it and the committed baseline records
   the checkpoint cost: an aging run is checkpointed at every sampled
@@ -48,7 +58,7 @@ implementations):
   3-shard composite.
 
 Results go to ``BENCH_scale_volume.json`` (schema
-``bench-scale-volume/5``, documented in ``benchmarks/README.md``).
+``bench-scale-volume/6``, documented in ``benchmarks/README.md``).
 
 Usage::
 
@@ -111,8 +121,15 @@ RESUME_VOLUME = 256 * MB
 QUICK_RESUME_VOLUME = 64 * MB
 RESUME_AGES = (0.0, 1.0, 2.0)
 
+DEGRADED_REPLICAS = 2
+DEGRADED_DEAD_SHARD = 1
+DEGRADED_REBUILD_RATE = 0.25
+#: Objects re-replicated per rebuild slice while reads interleave.
+DEGRADED_REBUILD_SLICE = 8
+
 SCENARIOS = ("fs_churn", "segment_store", "batched_writes",
-             "sharded_aging", "shard_skew", "checkpoint_resume")
+             "sharded_aging", "shard_skew", "degraded_aging",
+             "checkpoint_resume")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -422,6 +439,132 @@ def run_shard_skew(volume: int, seed: int = 19) -> list[dict]:
     }]
 
 
+def run_degraded_aging(volume: int, seed: int = 29) -> list[dict]:
+    """Aged read sweeps through shard loss and charged rebuild.
+
+    One replicated store (4 shards, ``replicas=2``, overlap + C-LOOK),
+    aged the usual way, then measured through four phases of the same
+    whole-population shuffled read sweep:
+
+    * ``healthy`` — all shards up, reads served by primaries;
+    * ``degraded`` — shard 1 killed; keys whose primary died fail over
+      to their replica through the per-key (unbatched) path, so the
+      sweep pays the degradation the counters record;
+    * ``rebuilding`` — sweeps interleaved with throttled
+      ``rebuild(rate=0.25, max_objects=slice)`` slices until redundancy
+      is restored (copy time and throttle stall both charged through
+      the normal lanes and reported);
+    * ``rebuilt`` — full redundancy on the surviving shards.
+
+    The bench raises if any phase leaves an object unreadable or the
+    rebuild terminates with under-replicated keys.
+    """
+    spec = StoreSpec("lfs", volume_bytes=volume, shards=AGING_SHARDS,
+                     overlap=True, replicas=DEGRADED_REPLICAS,
+                     policy=DevicePolicy(batch_size=AGING_READ_BATCH,
+                                         reorder="clook"))
+    store = build_store(spec)
+    rng = random.Random(seed)
+    # Logical load target: each object costs ``replicas`` physical
+    # copies, so halve the usual occupancy target.
+    target = int(volume * OCCUPANCY) // DEGRADED_REPLICAS
+    keys: list[str] = []
+    loaded = 0
+    t0 = time.perf_counter()
+    while loaded + AGING_OBJECT <= target:
+        key = f"o{len(keys)}"
+        store.put(key, size=AGING_OBJECT)
+        keys.append(key)
+        loaded += AGING_OBJECT
+    for _ in range(AGING_CHURN_AGE * len(keys)):
+        store.overwrite(rng.choice(keys), size=AGING_OBJECT)
+    build_s = time.perf_counter() - t0
+
+    def sweep() -> dict:
+        order = list(keys)
+        rng.shuffle(order)
+        clock0 = sum(d.clock_s for d in store.devices())
+        wall0 = store.scheduler.wall_time_s
+        deg0, fail0 = store.degraded_reads, store.failovers
+        t0 = time.perf_counter()
+        store.read_many(order)
+        return {
+            "sweep_reads": len(order),
+            "sweep_host_seconds": round(time.perf_counter() - t0, 4),
+            "sweep_device_s": round(
+                sum(d.clock_s for d in store.devices()) - clock0, 4),
+            "sweep_wall_s": round(
+                store.scheduler.wall_time_s - wall0, 4),
+            "degraded_reads": store.degraded_reads - deg0,
+            "failovers": store.failovers - fail0,
+        }
+
+    def check_all_readable(phase: str) -> None:
+        for key in keys:
+            if store.meta(key).size != AGING_OBJECT:
+                raise AssertionError(
+                    f"degraded_aging[{phase}]: {key} unreadable or resized")
+
+    def row(phase: str, measures: dict, **extra) -> dict:
+        base = {
+            "scenario": "degraded_aging",
+            "phase": phase,
+            "shards": AGING_SHARDS,
+            "replicas": DEGRADED_REPLICAS,
+            "volume_bytes": volume,
+            "objects": len(keys),
+            "storage_age": AGING_CHURN_AGE,
+            "dead_shards": len(store.dead_shards),
+        }
+        base.update(measures)
+        base.update(extra)
+        return base
+
+    rows = [row("healthy", sweep(), build_seconds=round(build_s, 4))]
+    check_all_readable("healthy")
+
+    store.fail_shard(DEGRADED_DEAD_SHARD)
+    rows.append(row("degraded", sweep(),
+                    under_replicated=len(store.under_replicated())))
+    check_all_readable("degraded")
+
+    # Interleave throttled rebuild slices with read sweeps; the read
+    # cost is reported separately from the rebuild's copy/stall time.
+    slices = 0
+    copy_s = stall_s = 0.0
+    rebuilt_objects = rebuilt_bytes = 0
+    read_totals = {"sweep_reads": 0, "sweep_host_seconds": 0.0,
+                   "sweep_device_s": 0.0, "sweep_wall_s": 0.0,
+                   "degraded_reads": 0, "failovers": 0}
+    while store.under_replicated():
+        report = store.rebuild(rate=DEGRADED_REBUILD_RATE,
+                               max_objects=DEGRADED_REBUILD_SLICE)
+        if report.rebuilt_objects == 0:
+            raise AssertionError(
+                "degraded_aging: rebuild slice made no progress with "
+                f"{len(store.under_replicated())} keys still hurt")
+        slices += 1
+        copy_s += report.copy_device_s
+        stall_s += report.stall_s
+        rebuilt_objects += report.rebuilt_objects
+        rebuilt_bytes += report.rebuilt_bytes
+        for name, value in sweep().items():
+            read_totals[name] = round(read_totals[name] + value, 4) \
+                if isinstance(value, float) else read_totals[name] + value
+    rows.append(row("rebuilding", read_totals,
+                    rebuild_slices=slices,
+                    rebuild_rate=DEGRADED_REBUILD_RATE,
+                    rebuilt_objects=rebuilt_objects,
+                    rebuilt_bytes=rebuilt_bytes,
+                    rebuild_copy_device_s=round(copy_s, 4),
+                    rebuild_stall_s=round(stall_s, 4)))
+    check_all_readable("rebuilding")
+
+    rows.append(row("rebuilt", sweep()))
+    check_all_readable("rebuilt")
+    return rows
+
+
 def run_checkpoint_resume(volume: int, seed: int = 23) -> list[dict]:
     """Kill an aging run after its mid-run checkpoint and resume it.
 
@@ -558,6 +701,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"... shard_skew @ {skew_volume // MB} MB volume, "
               f"{AGING_SHARDS} shards", flush=True)
         rows.extend(run_shard_skew(skew_volume))
+    if "degraded_aging" in scenarios:
+        degraded_volume = args.aging_volume or (
+            QUICK_AGING_VOLUME if args.quick else AGING_VOLUME)
+        print(f"... degraded_aging @ {degraded_volume // MB} MB volume, "
+              f"{AGING_SHARDS} shards, replicas={DEGRADED_REPLICAS}",
+              flush=True)
+        rows.extend(run_degraded_aging(degraded_volume))
     if "checkpoint_resume" in scenarios:
         resume_volume = QUICK_RESUME_VOLUME if args.quick else RESUME_VOLUME
         print(f"... checkpoint_resume @ {resume_volume // MB} MB volume",
@@ -597,9 +747,21 @@ def main(argv: list[str] | None = None) -> int:
         speedups["shard_skew_reduction"] = round(
             skew[0]["occupancy_skew_before"]
             / skew[0]["occupancy_skew_after"], 2)
+    phases = {r["phase"]: r for r in rows
+              if r.get("scenario") == "degraded_aging"}
+    if {"healthy", "degraded"} <= phases.keys():
+        healthy_wall = phases["healthy"]["sweep_wall_s"]
+        if healthy_wall > 0:
+            speedups["degraded_read_wall_penalty"] = round(
+                phases["degraded"]["sweep_wall_s"] / healthy_wall, 2)
+    if {"healthy", "rebuilt"} <= phases.keys():
+        healthy_wall = phases["healthy"]["sweep_wall_s"]
+        if healthy_wall > 0:
+            speedups["rebuilt_read_wall_penalty"] = round(
+                phases["rebuilt"]["sweep_wall_s"] / healthy_wall, 2)
 
     report = {
-        "schema": "bench-scale-volume/5",
+        "schema": "bench-scale-volume/6",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -615,6 +777,10 @@ def main(argv: list[str] | None = None) -> int:
             "aging_shards": AGING_SHARDS,
             "aging_read_batch": AGING_READ_BATCH,
             "aging_churn_age": AGING_CHURN_AGE,
+            "degraded_replicas": DEGRADED_REPLICAS,
+            "degraded_dead_shard": DEGRADED_DEAD_SHARD,
+            "degraded_rebuild_rate": DEGRADED_REBUILD_RATE,
+            "degraded_rebuild_slice": DEGRADED_REBUILD_SLICE,
             "resume_ages": list(RESUME_AGES),
             "scenarios": list(scenarios),
         },
@@ -664,6 +830,25 @@ def main(argv: list[str] | None = None) -> int:
               f"({r['moved_bytes'] // MB} MB); aged sweep wall "
               f"{r['sweep_wall_s_before']:.3f}s -> "
               f"{r['sweep_wall_s_after']:.3f}s")
+    degraded_rows = [r for r in rows
+                     if r.get("scenario") == "degraded_aging"]
+    if degraded_rows:
+        print(f"\n{'phase':>11s} {'reads':>6s} {'sweep dev s':>12s} "
+              f"{'sweep wall s':>13s} {'degraded':>9s} {'failovers':>10s}")
+        for r in degraded_rows:
+            print(f"{r['phase']:>11s} {r['sweep_reads']:>6d} "
+                  f"{r['sweep_device_s']:>12.3f} "
+                  f"{r['sweep_wall_s']:>13.3f} "
+                  f"{r['degraded_reads']:>9d} {r['failovers']:>10d}")
+        rebuilding = [r for r in degraded_rows
+                      if r["phase"] == "rebuilding"]
+        for r in rebuilding:
+            print(f"rebuild: {r['rebuilt_objects']} objects "
+                  f"({r['rebuilt_bytes'] // MB} MB) in "
+                  f"{r['rebuild_slices']} slices at rate "
+                  f"{r['rebuild_rate']}, copy "
+                  f"{r['rebuild_copy_device_s']:.3f}s + stall "
+                  f"{r['rebuild_stall_s']:.3f}s")
     resume_rows = [r for r in rows
                    if r.get("scenario") == "checkpoint_resume"]
     if resume_rows:

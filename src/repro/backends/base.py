@@ -40,6 +40,20 @@ class StoreStats:
     #: attribute how much of it was migration.
     migrated_objects: int = 0
     migrated_bytes: int = 0
+    #: Fault-tolerance counters, maintained by the sharded composite
+    #: (always zero for single-volume stores).  ``degraded_reads`` counts
+    #: reads ultimately served by a non-primary replica; ``retries``
+    #: counts transient-error re-issues; ``failovers`` counts every time
+    #: a read abandoned one holder (dead shard, or retries exhausted)
+    #: and moved on to the next.
+    degraded_reads: int = 0
+    retries: int = 0
+    failovers: int = 0
+    #: Objects/bytes re-replicated by ``rebuild()`` so far.  Like
+    #: migration, rebuild I/O also lands in the devices' IoStats — these
+    #: fields attribute how much of it was re-replication.
+    rebuilt_objects: int = 0
+    rebuilt_bytes: int = 0
 
     @property
     def occupancy(self) -> float:
@@ -103,6 +117,12 @@ class ObjectStore(Protocol):
         with ``keys``: the object's bytes when the device stores
         content, else ``None``.  Metadata costs are charged per object,
         like :meth:`get`.
+
+        Error contract: ``None`` never means "the read failed" — an
+        unknown key raises :class:`~repro.errors.ObjectNotFoundError`,
+        and a key whose every replica is gone raises
+        :class:`~repro.errors.ShardUnavailableError`.  ``None`` only
+        ever means the device does not store content.
         """
         ...
 

@@ -165,6 +165,26 @@ def resolve_spec(spec: StoreSpec) -> StoreSpec:
             "overlap=true needs shards > 1 (the overlap model schedules "
             "per-shard device lanes; a single volume has one lane)"
         )
+    if spec.replicas > spec.shards:
+        raise ConfigError(
+            f"replicas={spec.replicas} needs at least that many shards "
+            f"(spec has {spec.shards})"
+        )
+    if spec.faults:
+        from repro.disk.faults import FaultProfile
+
+        profile = FaultProfile.parse(spec.faults)
+        scoped = profile.max_shard()
+        if spec.shards <= 1 and (profile.losses or scoped is not None):
+            raise ConfigError(
+                "loss and shard-scoped fault clauses need shards > 1 "
+                "(a single volume has no shard to kill or target)"
+            )
+        if scoped is not None and scoped >= spec.shards:
+            raise ConfigError(
+                f"fault clause targets shard {scoped}, but the spec "
+                f"has only {spec.shards} shards"
+            )
     converted = {}
     for name, value in spec.options:
         converter = info.options.get(name)
@@ -189,14 +209,31 @@ def build_store(spec: StoreSpec) -> ObjectStore:
     spec = resolve_spec(spec)
     if spec.shards > 1:
         from repro.backends.sharded import ShardedStore
+        from repro.disk.faults import FaultProfile
 
+        profile = FaultProfile.parse(spec.faults) if spec.faults else None
         shards = [build_store(sub) for sub in spec.shard_specs()]
         return ShardedStore(shards, placement=spec.placement,
                             band_bytes=spec.band_bytes,
                             overlap=spec.overlap,
                             parallelism=spec.parallelism,
-                            dispatch_overhead_s=spec.dispatch_overhead_s)
+                            dispatch_overhead_s=spec.dispatch_overhead_s,
+                            replicas=spec.replicas,
+                            faults=profile,
+                            rebuild_rate=spec.rebuild_rate)
     info = backend_info(spec.backend)
-    device = BlockDevice(scaled_disk(spec.volume_bytes),
-                         store_data=spec.store_data, policy=spec.policy)
+    device_faults = None
+    if spec.faults:
+        from repro.disk.faults import FaultProfile
+
+        device_faults = FaultProfile.parse(spec.faults).device_faults()
+    if device_faults is not None:
+        from repro.disk.faults import FaultyBlockDevice
+
+        device: BlockDevice = FaultyBlockDevice(
+            scaled_disk(spec.volume_bytes), store_data=spec.store_data,
+            policy=spec.policy, faults=device_faults)
+    else:
+        device = BlockDevice(scaled_disk(spec.volume_bytes),
+                             store_data=spec.store_data, policy=spec.policy)
     return info.factory(spec, device)

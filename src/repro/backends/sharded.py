@@ -59,6 +59,47 @@ shards' normal get/put paths and surfaces in
 :attr:`StoreStats.migrated_objects` / ``migrated_bytes``.  The key →
 shard map only has values updated, never reinserted, so the
 :meth:`keys` insertion-order contract survives any rebalance.
+
+Replication & degraded operation
+--------------------------------
+With ``replicas=k`` every object lands on its placement-chosen
+*primary* shard plus the next ``k-1`` healthy shards in ring order —
+always distinct shards, so any single-shard loss leaves at least
+``k-1`` copies.  A write fans out to every holder inside **one**
+multi-lane dispatch round (replica lanes overlap under the scheduler,
+so ``replicas=2`` costs roughly one write of wall time, two of device
+time).  The primary stays the routing entry in the key map, preserving
+the :meth:`keys` order contract; replica holders live in a side map.
+
+Reads degrade instead of failing.  A :class:`~repro.errors.
+TransientIoError` is retried against the same shard up to
+:attr:`~ShardedStore.MAX_READ_RETRIES` times with a capped exponential
+backoff charged as modelled time (a scheduler stall under the overlap
+model, device CPU time otherwise); a dead shard — marked by
+:meth:`fail_shard`, an ``at_age`` loss clause firing, or the device
+raising :class:`~repro.errors.ShardLostError` — fails the read over to
+the next surviving holder.  Every skip/abandonment counts as a
+``failover``, every re-issue as a ``retry``, and every read served by a
+non-primary holder as a ``degraded_read`` (surfaced through
+:class:`~repro.backends.base.StoreStats`).  Only when *no* holder of a
+key survives does the composite raise
+:class:`~repro.errors.ShardUnavailableError` — degradation is per-key:
+keys with surviving replicas stay readable and writable (writes simply
+skip dead holders, leaving the key under-replicated until rebuild).
+
+:meth:`rebuild` restores redundancy: it walks the key map, re-copies
+every under-replicated object from its first surviving holder onto the
+next healthy shards (ring order, never a shard that already holds a
+copy), and re-routes dead holders out of the maps.  Copies ride the
+normal two-lane dispatch rounds — rebuild traffic contends with
+foreground I/O on the same devices — and a ``rebuild_rate=R`` throttle
+models a background task running at duty cycle ``R``: after each copy
+the pass stalls ``copy_time * (1-R)/R`` of wall time, so a gentler
+rebuild takes proportionally longer without occupying the devices.
+Rebuild is crash-safe and idempotent: routing is only updated after a
+copy completes, a leftover copy from a crashed pass is deleted and
+re-copied (never adopted — it may be torn), and a second pass over a
+healthy store does nothing.
 """
 
 from __future__ import annotations
@@ -73,8 +114,10 @@ from repro.backends.base import ObjectMeta, ObjectStore, StoreStats
 from repro.backends.registry import register_backend
 from repro.backends.spec import PLACEMENTS, StoreSpec
 from repro.disk.device import BlockDevice
+from repro.disk.faults import FaultProfile
 from repro.disk.schedule import ShardScheduler
-from repro.errors import ConfigError, ObjectNotFoundError
+from repro.errors import (ConfigError, ObjectNotFoundError, ShardLostError,
+                          ShardUnavailableError, TransientIoError)
 from repro.units import MB
 
 #: Supported :meth:`ShardedStore.rebalance` modes.
@@ -93,15 +136,42 @@ class RebalanceReport:
     skew_after: float
 
 
+@dataclass(frozen=True)
+class RebuildReport:
+    """What one :meth:`ShardedStore.rebuild` pass did."""
+
+    #: Keys walked / re-replicated / re-replicated bytes.
+    examined: int
+    rebuilt_objects: int
+    rebuilt_bytes: int
+    #: Keys whose every holder is dead — data gone, nothing to copy.
+    unreachable: int
+    #: Keys still short of full redundancy after the pass (only nonzero
+    #: when ``max_objects`` stopped it early or shards ran out).
+    under_replicated_after: int
+    #: Device seconds spent copying, and throttle stall wall seconds.
+    copy_device_s: float
+    stall_s: float
+
+
 class ShardedStore:
     """Stripe keys over N inner object stores."""
+
+    #: Bounded retry for transient read faults (re-issues per holder).
+    MAX_READ_RETRIES = 3
+    #: Capped exponential backoff charged per retry as modelled time.
+    BACKOFF_BASE_S = 0.002
+    BACKOFF_CAP_S = 0.016
 
     def __init__(self, shards: Sequence[ObjectStore], *,
                  placement: str = "hash",
                  band_bytes: int = 1 * MB,
                  overlap: bool = False,
                  parallelism: int = 0,
-                 dispatch_overhead_s: float = 0.0) -> None:
+                 dispatch_overhead_s: float = 0.0,
+                 replicas: int = 1,
+                 faults: FaultProfile | None = None,
+                 rebuild_rate: float = 1.0) -> None:
         if len(shards) < 2:
             raise ConfigError("a sharded store needs at least two shards")
         if placement not in PLACEMENTS:
@@ -110,14 +180,30 @@ class ShardedStore:
             )
         if band_bytes <= 0:
             raise ConfigError("band_bytes must be positive")
+        if not 1 <= replicas <= len(shards):
+            raise ConfigError(
+                f"replicas must be in [1, {len(shards)}], got {replicas}"
+            )
+        if not 0.0 < rebuild_rate <= 1.0:
+            raise ConfigError(
+                f"rebuild_rate must be in (0, 1], got {rebuild_rate}"
+            )
         self.shards = list(shards)
         self.placement = placement
         self.band_bytes = band_bytes
+        self.replicas = replicas
+        self.fault_profile = faults
+        self.rebuild_rate = rebuild_rate
         inner = {s.name for s in self.shards}
         inner_name = inner.pop() if len(inner) == 1 else "mixed"
         self.name = f"sharded[{len(self.shards)}x{inner_name}]"
-        #: key -> shard index; insertion order IS the composite key order.
+        #: key -> primary shard index; insertion order IS the composite
+        #: key order.
         self._shard_of: dict[str, int] = {}
+        #: key -> non-primary holder indices (absent when replicas == 1).
+        self._replica_of: dict[str, tuple[int, ...]] = {}
+        #: Permanently lost shard indices.
+        self._dead_shards: set[int] = set()
         self._rr_next = 0
         #: Overlap scheduler (None = historical summed-time model).
         self.scheduler = ShardScheduler(
@@ -129,6 +215,13 @@ class ShardedStore:
         self._lane_devices = [list(s.devices()) for s in self.shards]
         self.migrated_objects = 0
         self.migrated_bytes = 0
+        self.degraded_reads = 0
+        self.retries = 0
+        self.failovers = 0
+        self.rebuilt_objects = 0
+        self.rebuilt_bytes = 0
+        # Loss clauses without an age trigger fire at construction.
+        self.apply_age_faults(None)
 
     # ------------------------------------------------------------------
     # Dispatch rounds (overlap model)
@@ -176,11 +269,69 @@ class ShardedStore:
         return band
 
     def shard_for(self, key: str) -> int:
-        """Index of the shard holding ``key`` (raises when absent)."""
+        """Index of the primary shard of ``key`` (raises when absent)."""
         try:
             return self._shard_of[key]
         except KeyError:
             raise ObjectNotFoundError(f"no object {key!r}") from None
+
+    def holders_of(self, key: str) -> tuple[int, ...]:
+        """Every shard holding a copy of ``key``, primary first."""
+        return (self.shard_for(key), *self._replica_of.get(key, ()))
+
+    @property
+    def dead_shards(self) -> tuple[int, ...]:
+        """Permanently lost shard indices, ascending."""
+        return tuple(sorted(self._dead_shards))
+
+    def _place_live(self, key: str, size: int) -> int:
+        """Placement-chosen shard, advanced in ring order past the dead."""
+        index = self._place(key, size)
+        if not self._dead_shards:
+            return index
+        n = len(self.shards)
+        for j in range(n):
+            candidate = (index + j) % n
+            if candidate not in self._dead_shards:
+                return candidate
+        raise ShardUnavailableError("no healthy shard to place on")
+
+    def _replica_targets(self, primary: int) -> list[int]:
+        """Next ``replicas - 1`` healthy shards after the primary.
+
+        Ring order keeps the holder set deterministic; when fewer
+        healthy shards remain, the object starts under-replicated and
+        :meth:`rebuild` cannot improve on it until shards are added.
+        """
+        targets: list[int] = []
+        if self.replicas <= 1:
+            return targets
+        n = len(self.shards)
+        for j in range(1, n):
+            candidate = (primary + j) % n
+            if candidate in self._dead_shards:
+                continue
+            targets.append(candidate)
+            if len(targets) == self.replicas - 1:
+                break
+        return targets
+
+    def _charge_stall(self, index: int, seconds: float) -> None:
+        """Charge host-side waiting (backoff, throttle) as modelled time.
+
+        Under the overlap model the devices are genuinely idle while we
+        wait, so the stall is pure wall time on the scheduler; without
+        one, it lands as CPU time on the shard's device stats so the
+        summed model sees it too.
+        """
+        if seconds <= 0.0:
+            return
+        if self.scheduler is not None:
+            self.scheduler.record_stall(seconds)
+        else:
+            devs = self._lane_devices[index]
+            if devs:
+                devs[0].stats.record_cpu(seconds)
 
     # ------------------------------------------------------------------
     # ObjectStore interface
@@ -191,64 +342,139 @@ class ShardedStore:
         # A duplicate put must fail with the inner backend's error, so
         # route it to the owning shard rather than re-placing.
         index = self._shard_of.get(key)
+        if index is not None:
+            targets = [index]
+        else:
+            primary = self._place_live(key, total)
+            targets = [primary, *self._replica_targets(primary)]
+        # The write fans out to every holder inside one dispatch round,
+        # so replica lanes overlap under the scheduler.
+        with self._dispatch(tuple(targets)):
+            for i in targets:
+                if data is not None:
+                    self.shards[i].put(key, data=data)
+                else:
+                    self.shards[i].put(key, size=total)
         if index is None:
-            index = self._place(key, total)
-        with self._dispatch((index,)):
-            if data is not None:
-                self.shards[index].put(key, data=data)
-            else:
-                self.shards[index].put(key, size=total)
-        self._shard_of[key] = index
+            self._shard_of[key] = targets[0]
+            if len(targets) > 1:
+                self._replica_of[key] = tuple(targets[1:])
 
     def get(self, key: str, offset: int = 0,
             length: int | None = None) -> bytes | None:
-        index = self.shard_for(key)
-        with self._dispatch((index,)):
-            return self.shards[index].get(key, offset, length)
+        holders = self.holders_of(key)
+        primary = holders[0]
+        for index in holders:
+            if index in self._dead_shards:
+                self.failovers += 1
+                continue
+            attempt = 0
+            while True:
+                try:
+                    with self._dispatch((index,)):
+                        value = self.shards[index].get(key, offset, length)
+                except TransientIoError:
+                    attempt += 1
+                    if attempt > self.MAX_READ_RETRIES:
+                        self.failovers += 1
+                        break  # give this holder up, try the next
+                    self.retries += 1
+                    self._charge_stall(index, min(
+                        self.BACKOFF_CAP_S,
+                        self.BACKOFF_BASE_S * (2 ** (attempt - 1))))
+                    continue
+                except ShardLostError:
+                    # The device knows before we do; remember it.
+                    self._dead_shards.add(index)
+                    self.failovers += 1
+                    break
+                if index != primary:
+                    self.degraded_reads += 1
+                return value
+        raise ShardUnavailableError(f"no surviving replica of {key!r}")
 
     def overwrite(self, key: str, *, size: int | None = None,
                   data: bytes | None = None) -> None:
-        index = self.shard_for(key)
-        shard = self.shards[index]
-        with self._dispatch((index,)):
-            if data is not None:
-                shard.overwrite(key, data=data)
-            else:
-                shard.overwrite(key, size=size)
+        holders = self.holders_of(key)
+        live = [i for i in holders if i not in self._dead_shards]
+        if not live:
+            raise ShardUnavailableError(f"no surviving replica of {key!r}")
+        # Dead holders are skipped, not retried: the key runs
+        # under-replicated (and its dead copy stale) until rebuild().
+        with self._dispatch(tuple(live)):
+            for i in live:
+                if data is not None:
+                    self.shards[i].overwrite(key, data=data)
+                else:
+                    self.shards[i].overwrite(key, size=size)
 
     def delete(self, key: str) -> None:
-        index = self.shard_for(key)
-        with self._dispatch((index,)):
-            self.shards[index].delete(key)
+        holders = self.holders_of(key)
+        live = [i for i in holders if i not in self._dead_shards]
+        with self._dispatch(tuple(live)):
+            for i in live:
+                self.shards[i].delete(key)
+        # Copies on dead shards died with their devices; dropping the
+        # catalog entry is all that is left to do.
         del self._shard_of[key]
+        self._replica_of.pop(key, None)
 
     def exists(self, key: str) -> bool:
         return key in self._shard_of
 
     def meta(self, key: str) -> ObjectMeta:
-        return self.shards[self.shard_for(key)].meta(key)
+        for index in self.holders_of(key):
+            if index not in self._dead_shards:
+                return self.shards[index].meta(key)
+        raise ShardUnavailableError(f"no surviving replica of {key!r}")
 
     def keys(self) -> list[str]:
         return list(self._shard_of)
 
     def read_many(self, keys: list[str]) -> list[bytes | None]:
         by_shard: dict[int, list[tuple[int, str]]] = {}
-        for pos, key in enumerate(keys):
-            by_shard.setdefault(self.shard_for(key), []).append((pos, key))
+        degraded: list[int] = []
         results: list[bytes | None] = [None] * len(keys)
+        for pos, key in enumerate(keys):
+            index = self.shard_for(key)
+            if index in self._dead_shards:
+                # Failover requests are not batched: each degraded key
+                # takes the per-key retry/failover path below.
+                degraded.append(pos)
+            else:
+                by_shard.setdefault(index, []).append((pos, key))
+        deferred: list[int] = []
         # One fan-out = one dispatch round: every touched shard serves
         # its sub-sweep on its own devices, so the lanes overlap.
         with self._dispatch(tuple(by_shard)):
             for index, members in by_shard.items():
-                shard_results = self.shards[index].read_many(
-                    [key for _, key in members]
-                )
+                try:
+                    shard_results = self.shards[index].read_many(
+                        [key for _, key in members]
+                    )
+                except TransientIoError:
+                    # The whole sub-sweep failed; re-issue its keys
+                    # through the per-key path (one counted retry).
+                    self.retries += 1
+                    deferred.extend(pos for pos, _ in members)
+                    continue
+                except ShardLostError:
+                    self._dead_shards.add(index)
+                    deferred.extend(pos for pos, _ in members)
+                    continue
                 for (pos, _), value in zip(members, shard_results):
                     results[pos] = value
+        for pos in degraded:
+            results[pos] = self.get(keys[pos])
+        for pos in deferred:
+            results[pos] = self.get(keys[pos])
         return results
 
     def object_extents(self, key: str) -> list[Extent]:
-        return self.shards[self.shard_for(key)].object_extents(key)
+        for index in self.holders_of(key):
+            if index not in self._dead_shards:
+                return self.shards[index].object_extents(key)
+        raise ShardUnavailableError(f"no surviving replica of {key!r}")
 
     def devices(self) -> list[BlockDevice]:
         out: list[BlockDevice] = []
@@ -260,16 +486,170 @@ class ShardedStore:
         return sum(shard.free_bytes() for shard in self.shards)
 
     def store_stats(self) -> StoreStats:
-        totals = StoreStats(objects=0, live_bytes=0, free_bytes=0,
-                            capacity=0,
+        # ``objects`` counts *logical* objects (the catalog); byte and
+        # capacity fields stay physical sums, so with replication
+        # ``live_bytes`` is roughly ``replicas ×`` the logical volume.
+        totals = StoreStats(objects=len(self._shard_of), live_bytes=0,
+                            free_bytes=0, capacity=0,
                             migrated_objects=self.migrated_objects,
-                            migrated_bytes=self.migrated_bytes)
+                            migrated_bytes=self.migrated_bytes,
+                            degraded_reads=self.degraded_reads,
+                            retries=self.retries,
+                            failovers=self.failovers,
+                            rebuilt_objects=self.rebuilt_objects,
+                            rebuilt_bytes=self.rebuilt_bytes)
         for stats in self.shard_stats():
-            totals.objects += stats.objects
             totals.live_bytes += stats.live_bytes
             totals.free_bytes += stats.free_bytes
             totals.capacity += stats.capacity
         return totals
+
+    # ------------------------------------------------------------------
+    # Faults, failover bookkeeping, and rebuild
+    # ------------------------------------------------------------------
+    def fail_shard(self, index: int) -> None:
+        """Permanently kill one shard (its devices raise from now on)."""
+        if not 0 <= index < len(self.shards):
+            raise ConfigError(
+                f"shard index {index} out of range [0, {len(self.shards)})")
+        if index in self._dead_shards:
+            return
+        self._dead_shards.add(index)
+        for dev in self._lane_devices[index]:
+            mark = getattr(dev, "mark_lost", None)
+            if mark is not None:
+                mark()
+
+    def apply_age_faults(self, age: float | None) -> list[int]:
+        """Fire the fault profile's due ``loss`` clauses; returns them.
+
+        ``age=None`` fires only untimed clauses (construction-time
+        losses); otherwise every not-yet-fired clause with
+        ``at_age <= age`` kills its shard.  The experiment runner calls
+        this once per sampled age.
+        """
+        if self.fault_profile is None:
+            return []
+        fired: list[int] = []
+        for clause in self.fault_profile.losses:
+            if clause.shard in self._dead_shards:
+                continue
+            due = (clause.at_age is None
+                   or (age is not None and age >= clause.at_age))
+            if due:
+                self.fail_shard(clause.shard)
+                fired.append(clause.shard)
+        return fired
+
+    def under_replicated(self) -> list[str]:
+        """Keys with fewer live copies than the store can hold now."""
+        healthy = len(self.shards) - len(self._dead_shards)
+        want = min(self.replicas, healthy)
+        dead = self._dead_shards
+        out = []
+        for key in self._shard_of:
+            live = sum(1 for i in self.holders_of(key) if i not in dead)
+            if live < want:
+                out.append(key)
+        return out
+
+    def rebuild(self, *, rate: float | None = None,
+                max_objects: int | None = None) -> RebuildReport:
+        """Re-replicate under-replicated objects onto healthy shards.
+
+        Walks the catalog in key order; every key short of
+        ``min(replicas, healthy shards)`` live copies is copied from
+        its first surviving holder onto the next healthy shards in ring
+        order (never one that already holds it), then re-routed so dead
+        holders drop out of the maps.  ``rate`` (default the store's
+        ``rebuild_rate``) throttles the pass as a duty cycle — see the
+        module docstring — and ``max_objects`` bounds one invocation so
+        callers can interleave rebuild slices with foreground work.
+
+        Safe to crash and re-run: routing updates only follow completed
+        copies, and a leftover target copy is deleted and re-copied
+        rather than adopted (it may be torn), so replicas are neither
+        lost nor double-counted across a crash.
+        """
+        rate = self.rebuild_rate if rate is None else rate
+        if not 0.0 < rate <= 1.0:
+            raise ConfigError(f"rebuild rate must be in (0, 1], got {rate}")
+        n = len(self.shards)
+        dead = self._dead_shards
+        healthy = n - len(dead)
+        want = min(self.replicas, healthy)
+        examined = rebuilt = rebuilt_bytes = unreachable = 0
+        copy_s = stall_s = 0.0
+        stopped = False
+        for key in list(self._shard_of):
+            if max_objects is not None and rebuilt >= max_objects:
+                stopped = True
+                break
+            examined += 1
+            holders = self.holders_of(key)
+            live = [i for i in holders if i not in dead]
+            if not live:
+                unreachable += 1
+                continue
+            if len(live) == len(holders) and len(live) >= want:
+                continue
+            src = live[0]
+            size = self.shards[src].meta(key).size
+            copied = False
+            for j in range(1, n):
+                if len(live) >= want:
+                    break
+                dst = (src + j) % n
+                if dst in dead or dst in live:
+                    continue
+                spent = self._rebuild_copy(key, size, src, dst)
+                copy_s += spent
+                if rate < 1.0:
+                    pause = spent * (1.0 - rate) / rate
+                    self._charge_stall(dst, pause)
+                    stall_s += pause
+                live.append(dst)
+                copied = True
+            # Re-route: promote the first live holder to primary (a
+            # value update, preserving keys() order) and drop dead ones.
+            self._shard_of[key] = live[0]
+            if len(live) > 1:
+                self._replica_of[key] = tuple(live[1:])
+            else:
+                self._replica_of.pop(key, None)
+            if copied:
+                rebuilt += 1
+                rebuilt_bytes += size
+        self.rebuilt_objects += rebuilt
+        self.rebuilt_bytes += rebuilt_bytes
+        return RebuildReport(
+            examined=examined,
+            rebuilt_objects=rebuilt,
+            rebuilt_bytes=rebuilt_bytes,
+            unreachable=unreachable,
+            under_replicated_after=(
+                len(self.under_replicated()) if stopped else 0),
+            copy_device_s=copy_s,
+            stall_s=stall_s,
+        )
+
+    def _rebuild_copy(self, key: str, size: int, src_index: int,
+                      dst_index: int) -> float:
+        """One re-replication copy; returns its device seconds."""
+        src = self.shards[src_index]
+        dst = self.shards[dst_index]
+        lanes = self._lane_devices[src_index] + self._lane_devices[dst_index]
+        before = sum(d.clock_s for d in lanes)
+        with self._dispatch((src_index, dst_index)):
+            data = src.get(key)
+            if dst.exists(key):
+                # Leftover from a crashed pass: replace, never adopt.
+                dst.delete(key)
+            if data is not None:
+                dst.put(key, data=data)
+            else:
+                dst.put(key, size=size)
+        return sum(d.clock_s for d in lanes) - before
 
     # ------------------------------------------------------------------
     # Rebalancing / migration
@@ -308,6 +688,11 @@ class ShardedStore:
                 f"unknown rebalance mode {mode!r}; "
                 f"choose from {REBALANCE_MODES}"
             )
+        if self._dead_shards:
+            raise ConfigError(
+                f"cannot rebalance with dead shards {self.dead_shards}; "
+                "run rebuild() to restore redundancy first"
+            )
         skew_before = self.occupancy_skew()
         sizes = {key: self.shards[index].meta(key).size
                  for key, index in self._shard_of.items()}
@@ -315,6 +700,12 @@ class ShardedStore:
             moves = self._plan_placement(sizes)
         else:
             moves = self._plan_even(sizes)
+        if self.replicas > 1:
+            # Never migrate a primary onto a shard that already holds
+            # one of its replicas (the put would collide); rebalancing
+            # considers primary copies only.
+            moves = [(key, src, dst) for key, src, dst in moves
+                     if dst not in self._replica_of.get(key, ())]
         moved_bytes = 0
         for key, src, dst in moves:
             moved_bytes += self._migrate(key, sizes[key], src, dst,

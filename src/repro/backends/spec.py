@@ -20,9 +20,13 @@ Specs have a flag-friendly text form, used by ``--store``::
 
 The keys ``volume``, ``write_request``, ``store_data``, ``reorder``,
 ``batch``, ``shards``, ``placement``, ``band_bytes``, ``overlap``,
-``parallelism``, and ``dispatch_overhead`` set spec-level fields; every
-other key is a backend option, validated against the backend's
-declared option set at build time.
+``parallelism``, ``dispatch_overhead``, ``replicas``, ``faults``, and
+``rebuild_rate`` set spec-level fields; every other key is a backend
+option, validated against the backend's declared option set at build
+time.  ``faults`` takes a fault-profile text (see
+:mod:`repro.disk.faults`); written inside a ``--store`` spec, use
+colons between clause parameters — ``faults=transient:rate=1e-4`` —
+since commas separate spec options.
 """
 
 from __future__ import annotations
@@ -98,6 +102,15 @@ class StoreSpec:
     parallelism: int = 0
     #: Fixed per-round dispatch overhead charged by the scheduler.
     dispatch_overhead_s: float = 0.0
+    #: Copies per object (1 = no replication).  Requires ``shards >=
+    #: replicas``; placement puts the primary plus ``replicas - 1``
+    #: ring-order neighbours on distinct shards.
+    replicas: int = 1
+    #: Fault profile text (see :mod:`repro.disk.faults`); empty = none.
+    faults: str = ""
+    #: Default duty cycle for :meth:`ShardedStore.rebuild` (1.0 = flat
+    #: out, 0.25 = rebuild occupies a quarter of wall time).
+    rebuild_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.backend:
@@ -122,6 +135,10 @@ class StoreSpec:
             raise ConfigError(
                 "dispatch_overhead_s must be a finite value >= 0"
             )
+        if self.replicas < 1:
+            raise ConfigError("replicas must be >= 1")
+        if not 0.0 < self.rebuild_rate <= 1.0:
+            raise ConfigError("rebuild_rate must be in (0, 1]")
         opts = self.options
         if isinstance(opts, Mapping):
             opts = tuple(sorted(opts.items()))
@@ -173,11 +190,23 @@ class StoreSpec:
                 f"volume of {self.volume_bytes} bytes cannot split "
                 f"into {self.shards} shards"
             )
-        # Overlap is a property of the composite's dispatch loop, not of
-        # the individual shards — sub-specs must not re-trigger it.
+        # Each shard sees only the device-level fault clauses that apply
+        # to it (shard scope stripped, transient streams re-seeded per
+        # shard); loss clauses stay with the composite, which resolves
+        # them by killing whole shards.
+        faults_of = [""] * self.shards
+        if self.faults:
+            from repro.disk.faults import FaultProfile
+
+            profile = FaultProfile.parse(self.faults)
+            faults_of = [profile.for_shard(i).text()
+                         for i in range(self.shards)]
+        # Overlap and replication are properties of the composite's
+        # dispatch loop, not of the individual shards — sub-specs must
+        # not re-trigger them.
         return [replace(self, shards=1, volume_bytes=per_shard,
-                        overlap=False)
-                for _ in range(self.shards)]
+                        overlap=False, replicas=1, faults=faults_of[i])
+                for i in range(self.shards)]
 
     # ------------------------------------------------------------------
     # Serialization
@@ -197,6 +226,9 @@ class StoreSpec:
             "overlap": self.overlap,
             "parallelism": self.parallelism,
             "dispatch_overhead_s": self.dispatch_overhead_s,
+            "replicas": self.replicas,
+            "faults": self.faults,
+            "rebuild_rate": self.rebuild_rate,
         }
 
     # ------------------------------------------------------------------
@@ -264,6 +296,18 @@ class StoreSpec:
                     raise ConfigError(
                         f"bad dispatch_overhead {value!r}; expected "
                         "seconds as a float"
+                    ) from None
+            elif key == "replicas":
+                fields["replicas"] = _parse_int(value, key)
+            elif key == "faults":
+                fields["faults"] = value
+            elif key == "rebuild_rate":
+                try:
+                    fields["rebuild_rate"] = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad rebuild_rate {value!r}; expected a float "
+                        "in (0, 1]"
                     ) from None
             else:
                 options[key] = value

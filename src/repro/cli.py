@@ -18,10 +18,15 @@ Examples::
 ``--store backend:key=val,...`` describes the store declaratively (see
 :class:`repro.backends.spec.StoreSpec`); spec-level keys are
 ``volume``, ``write_request``, ``reorder``, ``batch``, ``shards``,
-``placement``, ``store_data`` (explicit spec keys win over the
+``placement``, ``store_data``, ``replicas``, ``faults``,
+``rebuild_rate`` (explicit spec keys win over the
 ``--volume``/``--write-request`` flag defaults); everything else is a
 backend option validated by the registry.  ``--shards N`` stripes the
-chosen store over N sub-volumes.
+chosen store over N sub-volumes; ``--replicas K`` keeps K copies of
+every object on distinct shards; ``--faults SPEC`` injects device
+faults (grammar in :mod:`repro.disk.faults`), e.g.
+``--faults 'loss:shard=1:at_age=2'`` with ``--rebuild-ages 4`` to
+re-replicate after the loss.
 """
 
 from __future__ import annotations
@@ -87,11 +92,23 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "lfs:reorder=clook,batch=16 (see --help text)")
     parser.add_argument("--shards", type=int, default=0,
                         help="stripe the store over N sub-volumes")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="keep K copies of every object on distinct "
+                             "shards (needs a sharded store)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="device fault profile, e.g. "
+                             "'transient:rate=1e-4;loss:shard=1:at_age=2' "
+                             "(see repro.disk.faults)")
     parser.add_argument("--rebalance-ages", type=_parse_ages, default=(),
                         metavar="AGES",
                         help="rebalance a sharded store (occupancy-"
                              "levelling migration) after sampling these "
                              "ages (must be a subset of --ages)")
+    parser.add_argument("--rebuild-ages", type=_parse_ages, default=(),
+                        metavar="AGES",
+                        help="re-replicate objects that lost copies to "
+                             "dead shards after sampling these ages "
+                             "(must be a subset of --ages)")
     parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                         help="write a resumable checkpoint after every "
                              "sampled age (long aging runs can stop and "
@@ -112,7 +129,8 @@ def _store_spec_from(args: argparse.Namespace,
     ``--write-request``, and ``--size-hints`` still apply as defaults;
     spec-text keys (``volume=``, ``write_request=``) win over them.
     """
-    if args.store is None and args.shards <= 0:
+    if (args.store is None and args.shards <= 0
+            and args.replicas <= 0 and args.faults is None):
         return None
     spec = StoreSpec.parse(
         args.store if args.store is not None else backend,
@@ -122,6 +140,10 @@ def _store_spec_from(args: argparse.Namespace,
     )
     if args.shards > 0:
         spec = replace(spec, shards=args.shards)
+    if args.replicas > 0:
+        spec = replace(spec, replicas=args.replicas)
+    if args.faults is not None:
+        spec = replace(spec, faults=args.faults)
     if args.size_hints and spec.backend == "filesystem":
         spec = spec.with_options(size_hints=True)
     return spec
@@ -136,6 +158,7 @@ def _config_from(args: argparse.Namespace,
         reads_per_sample=args.reads,
         seed=args.seed,
         rebalance_ages=tuple(args.rebalance_ages),
+        rebuild_ages=tuple(args.rebuild_ages),
     )
     spec = _store_spec_from(args, backend)
     if spec is not None:
@@ -175,6 +198,22 @@ def _result_table(results: dict) -> str:
     if wall:
         blocks.append(render_series_table(
             "Read throughput (overlapped wall time)", "age", wall))
+    # Fault-tolerance counters only appear once something actually
+    # degraded — healthy (or unsharded) runs print the classic tables.
+    counters = (("degraded rds", "degraded_reads"), ("retries", "retries"),
+                ("failovers", "failovers"), ("rebuilt", "rebuilt_objects"),
+                ("dead shards", "dead_shards"))
+    degraded = {
+        f"{name} {label}": [(s.age, getattr(s, field))
+                            for s in run.samples]
+        for name, run in results.items()
+        for label, field in counters
+        if any(getattr(s, field) for s in run.samples)
+    }
+    if degraded:
+        blocks.append(render_series_table(
+            "Degraded operation (cumulative)", "age", degraded,
+            y_format="{:g}"))
     return "\n\n".join(blocks)
 
 

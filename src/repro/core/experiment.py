@@ -55,10 +55,12 @@ from repro.rng import substream
 from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 
 #: Manifest tag of experiment checkpoints (see ``_save_checkpoint``).
-#: Bumped to /2 when the config record grew ``rebalance_ages`` and
-#: samples grew wall-time fields: pre-/2 checkpoints hash differently
+#: Bumped whenever the config record or sample schema grows (``/2``:
+#: ``rebalance_ages`` and wall-time fields; ``/3``: fault-tolerance —
+#: ``rebuild_ages``, spec ``replicas``/``faults``/``rebuild_rate``, and
+#: degradation counters in samples): older checkpoints hash differently
 #: and must be refused with a schema error, not a config mismatch.
-CHECKPOINT_SCHEMA = "run-checkpoint/2"
+CHECKPOINT_SCHEMA = "run-checkpoint/3"
 
 #: Every registered backend, derived from the registry — not a
 #: hand-maintained tuple.  Includes the ``sharded`` composite.
@@ -111,6 +113,15 @@ class ExperimentConfig:
     #: :meth:`repro.backends.sharded.ShardedStore.rebalance`).  Must be
     #: a subset of ``ages``; ignored-with-error for unsharded stores.
     rebalance_ages: tuple[float, ...] = ()
+    #: Sampled ages after which the driver runs a background
+    #: :meth:`~repro.backends.sharded.ShardedStore.rebuild` pass,
+    #: re-replicating under-replicated objects (throttled by the spec's
+    #: ``rebuild_rate``).  Must be a subset of ``ages``; needs a sharded
+    #: store.  Shard-loss fault clauses (``loss:...at_age=A``) fire
+    #: right after the sample at age ``A`` and before any rebuild, so
+    #: the sample at the loss age still sees the healthy store and the
+    #: next one the degraded (or rebuilt) one.
+    rebuild_ages: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.sizes is None:
@@ -151,6 +162,18 @@ class ExperimentConfig:
             if resolved.shards <= 1 and resolved.backend != "sharded":
                 raise ConfigError(
                     "rebalance_ages needs a sharded store (shards > 1)"
+                )
+        if self.rebuild_ages:
+            missing = set(self.rebuild_ages) - set(self.ages)
+            if missing:
+                raise ConfigError(
+                    f"rebuild_ages {sorted(missing)} are not sampled "
+                    "ages; rebuild happens after a sample"
+                )
+            resolved = self.resolved_spec()
+            if resolved.shards <= 1 and resolved.backend != "sharded":
+                raise ConfigError(
+                    "rebuild_ages needs a sharded store (shards > 1)"
                 )
         if self.index_kind is not None and self.index_kind not in INDEX_KINDS:
             raise ConfigError(
@@ -208,6 +231,7 @@ class ExperimentConfig:
             "size_hints": self.size_hints,
             "index_kind": self.effective_index_kind(),
             "rebalance_ages": list(self.rebalance_ages),
+            "rebuild_ages": list(self.rebuild_ages),
             # The fully resolved spec (converted options, desugared
             # composite, device policy, shard layout) so a result file
             # alone attributes any ablation.
@@ -344,6 +368,16 @@ class ExperimentRunner:
                 # uninterrupted run exactly).
                 self._notify("rebalance", target_age)
                 store.rebalance(mode="even")
+            # Scheduled shard losses fire after the sample (so the
+            # sample at the trigger age still measures the healthy
+            # store) and before any rebuild at the same age.
+            fire = getattr(store, "apply_age_faults", None)
+            if fire is not None:
+                for index in fire(target_age):
+                    self._notify("shard-loss", float(index))
+            if target_age in cfg.rebuild_ages:
+                self._notify("rebuild", target_age)
+                store.rebuild()
             done_ages.append(target_age)
             if manager is not None:
                 self._save_checkpoint(manager, result, read_rng,
@@ -432,6 +466,7 @@ class ExperimentRunner:
             store, state, self.config.reads_per_sample, read_rng
         )
         reads = max(1, self.config.reads_per_sample)
+        stats = store.store_stats()
         return AgeSample(
             age=state.tracker.storage_age if age > 0 else age,
             fragments_per_object=report.mean,
@@ -439,12 +474,17 @@ class ExperimentRunner:
             fragments_max=report.max,
             read_mbps=read.mbps,
             write_mbps=write_mbps,
-            occupancy=store.store_stats().occupancy,
+            occupancy=stats.occupancy,
             overwrites=state.tracker.overwrites,
             seeks_per_read=read.seeks / reads,
             read_wall_mbps=read.wall_mbps,
             read_device_s=read.elapsed_s,
             read_wall_s=read.wall_s,
+            degraded_reads=stats.degraded_reads,
+            retries=stats.retries,
+            failovers=stats.failovers,
+            rebuilt_objects=stats.rebuilt_objects,
+            dead_shards=len(getattr(store, "dead_shards", ())),
         )
 
 

@@ -43,6 +43,15 @@ class AgeSample:
     #: read sweep behind ``read_mbps``/``read_wall_mbps``.
     read_device_s: float = 0.0
     read_wall_s: float = 0.0
+    #: Fault-tolerance counters, cumulative as of this sample (see
+    #: :class:`~repro.backends.base.StoreStats`); all zero for healthy
+    #: or unsharded runs.
+    degraded_reads: int = 0
+    retries: int = 0
+    failovers: int = 0
+    rebuilt_objects: int = 0
+    #: Shards permanently lost as of this sample.
+    dead_shards: int = 0
 
     def row(self) -> dict[str, float]:
         return {

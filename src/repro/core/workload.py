@@ -149,7 +149,11 @@ def bulk_load(store: ObjectStore, spec: WorkloadSpec,
     """
     state = WorkloadState(spec=spec, rng=rng)
     stats = store.store_stats()
-    target_bytes = int(stats.capacity * spec.target_occupancy)
+    # target_occupancy is a fraction of *raw* capacity; a replicated
+    # store spends ``replicas`` physical bytes per logical byte, so the
+    # logical load target shrinks accordingly.
+    replicas = max(1, int(getattr(store, "replicas", 1)))
+    target_bytes = int(stats.capacity * spec.target_occupancy) // replicas
     loaded = 0
     while True:
         size = spec.sizes.draw(rng)

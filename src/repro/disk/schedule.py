@@ -128,6 +128,20 @@ class ShardScheduler:
             win.lane_time_s += lane_total
         return wall
 
+    def record_stall(self, seconds: float) -> None:
+        """Account wall time during which no lane did device work.
+
+        Stalls model host-side waiting — retry backoff after a transient
+        fault, or a rebuild throttle's duty-cycle pause — so they add
+        wall time (and flow into open windows) without touching lane
+        totals or the round count: the devices really were idle.
+        """
+        if seconds <= 0.0:
+            return
+        self.wall_time_s += seconds
+        for win in self._windows:
+            win.wall_time_s += seconds
+
     # ------------------------------------------------------------------
     # Measurement windows (mirrors IoStats' window stack)
     # ------------------------------------------------------------------

@@ -5,6 +5,30 @@ catch a single type at the repository boundary.  Storage-full conditions
 derive from :class:`StorageFullError` regardless of which substrate raised
 them, because the experiment driver treats them uniformly (it sizes
 workloads to fit, so hitting one is a configuration bug worth surfacing).
+
+Device faults and the retry contract
+------------------------------------
+
+Injected device faults (see :mod:`repro.disk.faults`) surface through the
+:class:`DeviceError` branch, split by what the caller may do about them:
+
+* :class:`TransientIoError` — **retryable**.  The operation failed but the
+  device survives; re-issuing the same request may succeed.  *Reads* are
+  safe to retry because they are idempotent, and the :class:`ShardedStore
+  <repro.backends.sharded.ShardedStore>` composite does so automatically
+  with a capped exponential backoff charged as modelled time.  *Writes*
+  are **not** retried by the library: a failed multi-extent write may have
+  left partial backend state (a half-appended segment, a created-but-empty
+  file), so re-issuing blindly is unsafe.  A transient write error
+  propagates to the caller, who owns the decision to re-drive the workload
+  step.
+* :class:`ShardLostError` — **fatal for the device**.  The device (or the
+  shard built on it) is permanently gone; no retry can succeed.  Callers
+  with redundancy fail over to a surviving replica.
+* :class:`ShardUnavailableError` — **fatal for the key**.  Raised at the
+  composite boundary only when *no* replica of the requested object
+  survives (redundancy exhausted).  Keys on healthy shards remain fully
+  readable and writable — degradation is per-key, not store-wide.
 """
 
 from __future__ import annotations
@@ -75,3 +99,29 @@ class SnapshotError(CorruptionError):
 
 class CrashPoint(ReproError):
     """Raised by fault-injection hooks to simulate a crash mid-operation."""
+
+
+class DeviceError(ReproError):
+    """Device-level fault (see the module docstring's retry contract)."""
+
+
+class TransientIoError(DeviceError):
+    """A single I/O failed but the device survives; retryable.
+
+    Reads are retried automatically by the sharded composite (idempotent);
+    transient *write* errors propagate because the backend may hold
+    partial state that a blind re-issue would corrupt.
+    """
+
+
+class ShardLostError(DeviceError):
+    """The device backing a shard is permanently gone; never retryable."""
+
+
+class ShardUnavailableError(DeviceError):
+    """No surviving replica holds the requested object.
+
+    Raised at the :class:`~repro.backends.sharded.ShardedStore` boundary
+    only when redundancy for that key is exhausted; other keys on the
+    same store stay readable.
+    """

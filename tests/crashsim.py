@@ -1,15 +1,20 @@
 """Reusable crash-injection harness for recovery testing.
 
 Storage systems are validated by killing them mid-write, thousands of
-times; this module is the killing machinery.  Three pieces:
+times; this module is the killing machinery's test-side face.  The
+primitives themselves — :class:`~repro.disk.faults.CrashClock` and the
+crashing device — were promoted to :mod:`repro.disk.faults` (where the
+runtime fault-injection layer shares one implementation and one
+torn-write semantics with the recovery matrices); this module re-exports
+them under their historical names and keeps the matrix driver:
 
 * :class:`CrashClock` — a shared countdown of *write events* (data
   write submissions, log forces, and host-level commit kill points).
   Sharing one clock across several devices lets a kill point land
   anywhere inside a multi-volume store.
-* :class:`FaultyDevice` — a :class:`~repro.disk.device.BlockDevice`
-  that ticks the clock before every write-bearing submission and every
-  flush.  When the clock fires it raises
+* :class:`FaultyDevice` — alias of
+  :class:`~repro.disk.faults.FaultyBlockDevice`: ticks the clock before
+  every write-bearing submission and every flush, raising
   :class:`~repro.errors.CrashPoint` *before* the submission takes
   effect — or, in ``torn`` mode, after applying only a prefix of the
   doomed write's content, modelling a half-transferred sector run.
@@ -30,88 +35,13 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 
-from repro.disk.device import BlockDevice, IoRequest
-from repro.disk.geometry import DiskGeometry
+from repro.disk.faults import CrashClock, FaultyBlockDevice
 from repro.errors import CrashPoint
 
+__all__ = ["CrashClock", "FaultyDevice", "kill_point_matrix"]
 
-class CrashClock:
-    """Countdown shared by every faulty device of one system.
-
-    ``kill_after=None`` never fires (used for the fault-free baseline
-    that measures a workload's write-event count); ``kill_after=k``
-    fires on the ``k``-th write event (0-based), once.
-    """
-
-    def __init__(self, kill_after: int | None = None) -> None:
-        self.kill_after = kill_after
-        self.events = 0
-        self.fired = False
-
-    def tick(self, label: str = "") -> None:
-        """Count one write event; raise :class:`CrashPoint` when armed."""
-        if (self.kill_after is not None and not self.fired
-                and self.events >= self.kill_after):
-            self.fired = True
-            raise CrashPoint(
-                f"injected crash at write event {self.events}"
-                + (f" ({label})" if label else "")
-            )
-        self.events += 1
-
-    def hook(self, label: str) -> None:
-        """Adapter matching the ``crash_hook(label)`` signature."""
-        self.tick(label)
-
-
-class FaultyDevice(BlockDevice):
-    """A block device that crashes after N write events.
-
-    Reads never crash (a dying read loses nothing); every write-bearing
-    ``submit`` and every ``flush`` ticks the clock first.  With
-    ``torn=True`` the doomed write additionally applies the first half
-    of its first extent's content (untimed, like a partial transfer
-    cut by power loss) before raising — so content-checked recovery
-    sees a genuinely torn state, not just a missing one.
-    """
-
-    def __init__(self, geometry: DiskGeometry, *,
-                 clock: CrashClock | None = None,
-                 torn: bool = False, **kwargs) -> None:
-        super().__init__(geometry, **kwargs)
-        self.clock = clock if clock is not None else CrashClock()
-        self.torn = torn
-
-    @property
-    def write_events(self) -> int:
-        return self.clock.events
-
-    def _tick(self, label: str, batch: list[IoRequest]) -> None:
-        try:
-            self.clock.tick(label)
-        except CrashPoint:
-            if self.torn and self.stores_data:
-                self._tear(batch)
-            raise
-
-    def _tear(self, batch: list[IoRequest]) -> None:
-        for req in batch:
-            if req.is_write and req.data is not None and req.extents:
-                ext = req.extents[0]
-                half = ext.length // 2
-                if half:
-                    self.poke(ext.start, req.data[:half])
-                return
-
-    def submit(self, batch: list[IoRequest], *,
-               reorder: bool | None = None) -> list[bytes | None]:
-        if any(req.is_write for req in batch):
-            self._tick("write", batch)
-        return super().submit(batch, reorder=reorder)
-
-    def flush(self) -> None:
-        self._tick("flush", [])
-        super().flush()
+#: Historical name; the implementation now lives in repro.disk.faults.
+FaultyDevice = FaultyBlockDevice
 
 
 def kill_point_matrix(build: Callable[[CrashClock], object],
