@@ -47,6 +47,18 @@ implementations):
   object becomes unreadable at any phase or if the rebuild leaves
   under-replicated keys — the committed baseline is the regression
   gate for degraded operation.
+* ``tail_latency`` — per-request sojourn percentiles through the
+  event-driven queue model (``queue=event``; see ``repro/disk/events``):
+  a 4-shard overlapped store with ``replicas=2`` is loaded fresh, a
+  closed-loop sweep calibrates an open-loop Poisson arrival rate at a
+  fixed utilisation of the fresh store's capacity, and the same
+  shuffled per-object read sweep is then measured under that fixed
+  rate fresh, aged (churned to storage age 2), degraded (shard 1
+  killed, failover reads), rebuilding (throttled rebuild slices
+  interleaved with reads), and rebuilt.  Because the arrival rate
+  never changes, every slowdown shows up as queueing: the aged store's
+  p99 sits above the fresh store's, and the degraded store's above
+  healthy — the bench raises if degraded p99 undercuts healthy p99.
 * ``checkpoint_resume`` — the persistence subsystem's parity check,
   run as a bench so CI smokes it and the committed baseline records
   the checkpoint cost: an aging run is checkpointed at every sampled
@@ -58,7 +70,7 @@ implementations):
   3-shard composite.
 
 Results go to ``BENCH_scale_volume.json`` (schema
-``bench-scale-volume/6``, documented in ``benchmarks/README.md``).
+``bench-scale-volume/7``, documented in ``benchmarks/README.md``).
 
 Usage::
 
@@ -127,9 +139,17 @@ DEGRADED_REBUILD_RATE = 0.25
 #: Objects re-replicated per rebuild slice while reads interleave.
 DEGRADED_REBUILD_SLICE = 8
 
+#: Per-shard FIFO depth and target utilisation for ``tail_latency``.
+#: The Poisson rate is calibrated as ``TAIL_UTILIZATION`` times the
+#: fresh store's closed-loop sweep throughput, then held fixed across
+#: every phase so aging/degradation surface as queueing delay.
+TAIL_DEPTH = 64
+TAIL_UTILIZATION = 0.7
+TAIL_REBUILD_SLICE = 8
+
 SCENARIOS = ("fs_churn", "segment_store", "batched_writes",
              "sharded_aging", "shard_skew", "degraded_aging",
-             "checkpoint_resume")
+             "tail_latency", "checkpoint_resume")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -565,6 +585,160 @@ def run_degraded_aging(volume: int, seed: int = 29) -> list[dict]:
     return rows
 
 
+def run_tail_latency(volume: int, seed: int = 31) -> list[dict]:
+    """Sojourn-time percentiles across aging, shard loss, and rebuild.
+
+    One replicated store (4 shards, ``replicas=2``, ``overlap=true``,
+    ``queue=event`` with depth ``TAIL_DEPTH``).  After the bulk load a
+    closed-loop per-object read sweep measures the fresh store's
+    capacity; the open-loop Poisson rate is then pinned at
+    ``TAIL_UTILIZATION`` of it and **never changes again**.  Every
+    subsequent phase replays the same shuffled per-object sweep under
+    that rate, so a slower store can't hide behind a slower client:
+    service times grow, the fixed arrival stream piles up behind them,
+    and the sojourn tail stretches.  Reported per phase: wall/device
+    time plus p50/p95/p99/max sojourn from the phase's own window
+    histogram.  The bench raises if the degraded p99 undercuts the
+    healthy (aged) p99 — the tail must record the damage.
+    """
+    spec = StoreSpec("lfs", volume_bytes=volume, shards=AGING_SHARDS,
+                     overlap=True, replicas=DEGRADED_REPLICAS,
+                     queue="event", queue_depth=TAIL_DEPTH)
+    store = build_store(spec)
+    sched = store.scheduler
+    rng = random.Random(seed)
+    target = int(volume * OCCUPANCY) // DEGRADED_REPLICAS
+    keys: list[str] = []
+    loaded = 0
+    t0 = time.perf_counter()
+    while loaded + AGING_OBJECT <= target:
+        key = f"o{len(keys)}"
+        store.put(key, size=AGING_OBJECT)
+        keys.append(key)
+        loaded += AGING_OBJECT
+    build_s = time.perf_counter() - t0
+
+    def sweep(phase: str) -> dict:
+        """One shuffled per-object read sweep in its own window."""
+        order = list(keys)
+        rng.shuffle(order)
+        clock0 = sum(d.clock_s for d in store.devices())
+        win = sched.start_window(phase)
+        t0 = time.perf_counter()
+        for key in order:
+            store.get(key)
+        host_s = time.perf_counter() - t0
+        sched.end_window(win)
+        lat = win.latency
+        return {
+            "sweep_reads": len(order),
+            "sweep_host_seconds": round(host_s, 4),
+            "sweep_device_s": round(
+                sum(d.clock_s for d in store.devices()) - clock0, 4),
+            "sweep_wall_s": round(win.wall_time_s, 4),
+            "lat_count": lat.count,
+            "lat_p50_ms": round(lat.percentile(50) * 1e3, 4),
+            "lat_p95_ms": round(lat.percentile(95) * 1e3, 4),
+            "lat_p99_ms": round(lat.percentile(99) * 1e3, 4),
+            "lat_max_ms": round(lat.max_s * 1e3, 4),
+        }
+
+    # Calibration: a closed-loop sweep of the fresh store measures the
+    # zero-queueing wall per read; the Poisson rate is a fixed fraction
+    # of that capacity.
+    calibration = sweep("calibrate")
+    closed_wall = calibration["sweep_wall_s"]
+    rate = TAIL_UTILIZATION * len(keys) / closed_wall
+    arrival = f"poisson:rate={rate:g}:seed={seed}"
+
+    def row(phase: str, measures: dict, **extra) -> dict:
+        base = {
+            "scenario": "tail_latency",
+            "phase": phase,
+            "shards": AGING_SHARDS,
+            "replicas": DEGRADED_REPLICAS,
+            "queue_depth": TAIL_DEPTH,
+            "arrival_rate": round(rate, 2),
+            "volume_bytes": volume,
+            "objects": len(keys),
+            "dead_shards": len(store.dead_shards),
+        }
+        base.update(measures)
+        base.update(extra)
+        return base
+
+    sched.set_arrival(arrival)
+    rows = [row("fresh", sweep("fresh"),
+                build_seconds=round(build_s, 4),
+                closed_wall_s=closed_wall)]
+
+    # Churn to storage age 2 under closed arrivals (background work,
+    # not part of the measured open-loop stream), then re-measure.
+    sched.set_arrival("closed")
+    for _ in range(AGING_CHURN_AGE * len(keys)):
+        store.overwrite(rng.choice(keys), size=AGING_OBJECT)
+    sched.set_arrival(arrival)
+    rows.append(row("aged", sweep("aged"), storage_age=AGING_CHURN_AGE))
+
+    store.fail_shard(DEGRADED_DEAD_SHARD)
+    deg0, fail0 = store.degraded_reads, store.failovers
+    rows.append(row("degraded", sweep("degraded"),
+                    degraded_reads=store.degraded_reads - deg0,
+                    failovers=store.failovers - fail0,
+                    under_replicated=len(store.under_replicated())))
+
+    # Throttled rebuild slices interleaved with the same sweep; the
+    # phase's histogram sees reads queued behind rebuild copy traffic
+    # and the duty-cycle stalls charged through the queue frontier.
+    slices = 0
+    win = sched.start_window("rebuilding")
+    clock0 = sum(d.clock_s for d in store.devices())
+    reads = 0
+    t0 = time.perf_counter()
+    while store.under_replicated():
+        report = store.rebuild(rate=DEGRADED_REBUILD_RATE,
+                               max_objects=TAIL_REBUILD_SLICE)
+        if report.rebuilt_objects == 0:
+            raise AssertionError(
+                "tail_latency: rebuild slice made no progress with "
+                f"{len(store.under_replicated())} keys still hurt")
+        slices += 1
+        order = list(keys)
+        rng.shuffle(order)
+        for key in order:
+            store.get(key)
+        reads += len(order)
+    host_s = time.perf_counter() - t0
+    sched.end_window(win)
+    lat = win.latency
+    rows.append(row("rebuilding", {
+        "sweep_reads": reads,
+        "sweep_host_seconds": round(host_s, 4),
+        "sweep_device_s": round(
+            sum(d.clock_s for d in store.devices()) - clock0, 4),
+        "sweep_wall_s": round(win.wall_time_s, 4),
+        "lat_count": lat.count,
+        "lat_p50_ms": round(lat.percentile(50) * 1e3, 4),
+        "lat_p95_ms": round(lat.percentile(95) * 1e3, 4),
+        "lat_p99_ms": round(lat.percentile(99) * 1e3, 4),
+        "lat_max_ms": round(lat.max_s * 1e3, 4),
+    }, rebuild_slices=slices, rebuild_rate=DEGRADED_REBUILD_RATE))
+
+    rows.append(row("rebuilt", sweep("rebuilt")))
+
+    phases = {r["phase"]: r for r in rows}
+    if phases["degraded"]["lat_p99_ms"] < phases["aged"]["lat_p99_ms"]:
+        raise AssertionError(
+            "tail_latency: degraded p99 "
+            f"({phases['degraded']['lat_p99_ms']} ms) undercuts healthy "
+            f"p99 ({phases['aged']['lat_p99_ms']} ms)")
+    # The queue's books must balance at the end of the scenario.
+    sched.drain()
+    if not (sched.submitted == sched.completed == sched.latency.count):
+        raise AssertionError("tail_latency: scheduler books don't balance")
+    return rows
+
+
 def run_checkpoint_resume(volume: int, seed: int = 23) -> list[dict]:
     """Kill an aging run after its mid-run checkpoint and resume it.
 
@@ -708,6 +882,13 @@ def main(argv: list[str] | None = None) -> int:
               f"{AGING_SHARDS} shards, replicas={DEGRADED_REPLICAS}",
               flush=True)
         rows.extend(run_degraded_aging(degraded_volume))
+    if "tail_latency" in scenarios:
+        tail_volume = args.aging_volume or (
+            QUICK_AGING_VOLUME if args.quick else AGING_VOLUME)
+        print(f"... tail_latency @ {tail_volume // MB} MB volume, "
+              f"{AGING_SHARDS} shards, replicas={DEGRADED_REPLICAS}, "
+              f"queue=event depth={TAIL_DEPTH}", flush=True)
+        rows.extend(run_tail_latency(tail_volume))
     if "checkpoint_resume" in scenarios:
         resume_volume = QUICK_RESUME_VOLUME if args.quick else RESUME_VOLUME
         print(f"... checkpoint_resume @ {resume_volume // MB} MB volume",
@@ -759,9 +940,17 @@ def main(argv: list[str] | None = None) -> int:
         if healthy_wall > 0:
             speedups["rebuilt_read_wall_penalty"] = round(
                 phases["rebuilt"]["sweep_wall_s"] / healthy_wall, 2)
+    tail = {r["phase"]: r for r in rows
+            if r.get("scenario") == "tail_latency"}
+    if {"fresh", "aged"} <= tail.keys() and tail["fresh"]["lat_p99_ms"] > 0:
+        speedups["aged_p99_inflation"] = round(
+            tail["aged"]["lat_p99_ms"] / tail["fresh"]["lat_p99_ms"], 2)
+    if {"aged", "degraded"} <= tail.keys() and tail["aged"]["lat_p99_ms"] > 0:
+        speedups["degraded_p99_penalty"] = round(
+            tail["degraded"]["lat_p99_ms"] / tail["aged"]["lat_p99_ms"], 2)
 
     report = {
-        "schema": "bench-scale-volume/6",
+        "schema": "bench-scale-volume/7",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -781,6 +970,9 @@ def main(argv: list[str] | None = None) -> int:
             "degraded_dead_shard": DEGRADED_DEAD_SHARD,
             "degraded_rebuild_rate": DEGRADED_REBUILD_RATE,
             "degraded_rebuild_slice": DEGRADED_REBUILD_SLICE,
+            "tail_depth": TAIL_DEPTH,
+            "tail_utilization": TAIL_UTILIZATION,
+            "tail_rebuild_slice": TAIL_REBUILD_SLICE,
             "resume_ages": list(RESUME_AGES),
             "scenarios": list(scenarios),
         },
@@ -849,6 +1041,16 @@ def main(argv: list[str] | None = None) -> int:
                   f"{r['rebuild_rate']}, copy "
                   f"{r['rebuild_copy_device_s']:.3f}s + stall "
                   f"{r['rebuild_stall_s']:.3f}s")
+    tail_rows = [r for r in rows if r.get("scenario") == "tail_latency"]
+    if tail_rows:
+        print(f"\n{'phase':>11s} {'reads':>6s} {'wall s':>8s} "
+              f"{'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s} "
+              f"{'max ms':>8s}")
+        for r in tail_rows:
+            print(f"{r['phase']:>11s} {r['sweep_reads']:>6d} "
+                  f"{r['sweep_wall_s']:>8.3f} {r['lat_p50_ms']:>8.2f} "
+                  f"{r['lat_p95_ms']:>8.2f} {r['lat_p99_ms']:>8.2f} "
+                  f"{r['lat_max_ms']:>8.2f}")
     resume_rows = [r for r in rows
                    if r.get("scenario") == "checkpoint_resume"]
     if resume_rows:

@@ -182,6 +182,19 @@ def write_series(result: RunResult) -> list[tuple[float, float]]:
     return [(round(s.age), s.write_mbps / MB) for s in result.samples]
 
 
+def latency_series(result: RunResult,
+                   quantile: str = "p99") -> list[tuple[float, float]]:
+    """(age, read-sojourn milliseconds) pairs for one percentile.
+
+    ``quantile`` is one of ``p50``/``p95``/``p99``/``max``.  All zeros
+    unless the curve ran on a ``queue=event`` store (see
+    :mod:`repro.disk.events`) — the round model reports wall time only.
+    """
+    attr = f"read_lat_{quantile}_s"
+    return [(round(s.age), getattr(s, attr) * 1e3)
+            for s in result.samples]
+
+
 def report_checks(checks: list[ShapeCheck]) -> None:
     """Print every shape check and assert they all hold.
 

@@ -189,4 +189,13 @@ class MeasurementWindows:
             # Device lanes overlap; host CPU time stays serial.
             combined.wall_time_s = (self._sched_window.wall_time_s
                                     + combined.cpu_time_s)
+            # An event scheduler's windows also carry a per-request
+            # sojourn histogram (see repro.disk.events).
+            latency = getattr(self._sched_window, "latency", None)
+            if latency is not None and latency.count:
+                combined.lat_count = latency.count
+                combined.lat_p50_s = latency.percentile(50.0)
+                combined.lat_p95_s = latency.percentile(95.0)
+                combined.lat_p99_s = latency.percentile(99.0)
+                combined.lat_max_s = latency.max_s
         return combined

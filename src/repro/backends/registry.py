@@ -165,6 +165,22 @@ def resolve_spec(spec: StoreSpec) -> StoreSpec:
             "overlap=true needs shards > 1 (the overlap model schedules "
             "per-shard device lanes; a single volume has one lane)"
         )
+    if spec.queue == "event" and not spec.overlap:
+        raise ConfigError(
+            "queue=event needs overlap=true (the event queue simulates "
+            "per-shard lanes of the overlap scheduler; without overlap "
+            "there is no scheduler to layer it under)"
+        )
+    if spec.arrival != "closed":
+        if spec.queue != "event":
+            raise ConfigError(
+                "arrival=... needs queue=event (the round model has no "
+                "arrival process; every request in a round finishes "
+                "together)"
+            )
+        from repro.disk.events import ArrivalSpec
+
+        ArrivalSpec.parse(spec.arrival)
     if spec.replicas > spec.shards:
         raise ConfigError(
             f"replicas={spec.replicas} needs at least that many shards "
@@ -220,7 +236,10 @@ def build_store(spec: StoreSpec) -> ObjectStore:
                             dispatch_overhead_s=spec.dispatch_overhead_s,
                             replicas=spec.replicas,
                             faults=profile,
-                            rebuild_rate=spec.rebuild_rate)
+                            rebuild_rate=spec.rebuild_rate,
+                            queue=spec.queue,
+                            queue_depth=spec.queue_depth,
+                            arrival=spec.arrival)
     info = backend_info(spec.backend)
     device_faults = None
     if spec.faults:

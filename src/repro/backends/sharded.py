@@ -46,6 +46,17 @@ measurement windows alongside the historical summed device time — the
 concurrency model that makes ``--shards 4`` an actual speedup instead
 of four summed seek streams.
 
+``queue="event"`` layers the event-driven simulator
+(:class:`~repro.disk.events.EventScheduler`) under the same dispatch
+rounds: each lane becomes a request in its shard's bounded FIFO with
+enqueue/dispatch/complete timestamps, so measurement windows also
+report p50/p95/p99 sojourn latency.  Under closed arrivals the event
+model reduces to the round makespan exactly; ``arrival=
+"poisson:rate=..."`` re-times requests onto an open-loop timeline so
+saturation shows up as a latency tail.  Backoff and rebuild-throttle
+stalls flow through :meth:`_charge_stall` into the same queue
+timeline, so background pauses contend with foreground traffic.
+
 Rebalancing
 -----------
 :meth:`rebalance` migrates objects between shards — ``mode="even"``
@@ -112,7 +123,7 @@ from dataclasses import dataclass
 from repro.alloc.extent import Extent
 from repro.backends.base import ObjectMeta, ObjectStore, StoreStats
 from repro.backends.registry import register_backend
-from repro.backends.spec import PLACEMENTS, StoreSpec
+from repro.backends.spec import PLACEMENTS, QUEUE_KINDS, StoreSpec
 from repro.disk.device import BlockDevice
 from repro.disk.faults import FaultProfile
 from repro.disk.schedule import ShardScheduler
@@ -171,7 +182,10 @@ class ShardedStore:
                  dispatch_overhead_s: float = 0.0,
                  replicas: int = 1,
                  faults: FaultProfile | None = None,
-                 rebuild_rate: float = 1.0) -> None:
+                 rebuild_rate: float = 1.0,
+                 queue: str = "round",
+                 queue_depth: int = 64,
+                 arrival: str = "closed") -> None:
         if len(shards) < 2:
             raise ConfigError("a sharded store needs at least two shards")
         if placement not in PLACEMENTS:
@@ -205,11 +219,35 @@ class ShardedStore:
         #: Permanently lost shard indices.
         self._dead_shards: set[int] = set()
         self._rr_next = 0
+        if queue not in QUEUE_KINDS:
+            raise ConfigError(
+                f"unknown queue model {queue!r}; choose from {QUEUE_KINDS}"
+            )
+        if queue == "event" and not overlap:
+            raise ConfigError(
+                "queue=event needs overlap=true (the event queue "
+                "simulates the overlap scheduler's per-shard lanes)"
+            )
         #: Overlap scheduler (None = historical summed-time model).
-        self.scheduler = ShardScheduler(
-            parallelism=parallelism,
-            dispatch_overhead_s=dispatch_overhead_s,
-        ) if overlap else None
+        #: ``queue=event`` swaps in the event-driven simulator, which
+        #: adds per-request latency on top of the same interface.
+        if not overlap:
+            self.scheduler = None
+        elif queue == "event":
+            from repro.disk.events import EventScheduler
+
+            self.scheduler = EventScheduler(
+                len(self.shards),
+                parallelism=parallelism,
+                dispatch_overhead_s=dispatch_overhead_s,
+                depth=queue_depth,
+                arrival=arrival,
+            )
+        else:
+            self.scheduler = ShardScheduler(
+                parallelism=parallelism,
+                dispatch_overhead_s=dispatch_overhead_s,
+            )
         #: Per-shard device lists, cached: lane time deltas are read on
         #: every dispatch round and the lists never change.
         self._lane_devices = [list(s.devices()) for s in self.shards]
@@ -246,7 +284,7 @@ class ShardedStore:
             sched.record_round([
                 sum(d.clock_s for d in devs) - b
                 for devs, b in zip(lanes, before)
-            ])
+            ], indices=tuple(indices))
 
     # ------------------------------------------------------------------
     # Placement

@@ -17,16 +17,19 @@ Specs have a flag-friendly text form, used by ``--store``::
     gfs:chunk_size=8M,volume=512M,shards=4,placement=hash
     sharded:overlap=true,parallelism=4
     lfs:shards=4,overlap=true,batch=16,reorder=clook
+    lfs:shards=4,overlap=true,queue=event,depth=64,arrival=poisson:rate=2e3
 
 The keys ``volume``, ``write_request``, ``store_data``, ``reorder``,
 ``batch``, ``shards``, ``placement``, ``band_bytes``, ``overlap``,
-``parallelism``, ``dispatch_overhead``, ``replicas``, ``faults``, and
-``rebuild_rate`` set spec-level fields; every other key is a backend
-option, validated against the backend's declared option set at build
-time.  ``faults`` takes a fault-profile text (see
-:mod:`repro.disk.faults`); written inside a ``--store`` spec, use
-colons between clause parameters — ``faults=transient:rate=1e-4`` —
-since commas separate spec options.
+``parallelism``, ``dispatch_overhead``, ``replicas``, ``faults``,
+``rebuild_rate``, ``queue``, ``depth``, and ``arrival`` set spec-level
+fields; every other key is a backend option, validated against the
+backend's declared option set at build time.  ``faults`` takes a
+fault-profile text (see :mod:`repro.disk.faults`) and ``arrival`` an
+arrival-process text (see :mod:`repro.disk.events`); written inside a
+``--store`` spec, use colons between clause parameters —
+``faults=transient:rate=1e-4``, ``arrival=poisson:rate=2e3`` — since
+commas separate spec options.
 """
 
 from __future__ import annotations
@@ -41,6 +44,12 @@ from repro.units import DEFAULT_WRITE_REQUEST, GB, parse_size
 
 #: Placement policies the sharded composite understands.
 PLACEMENTS = ("hash", "round_robin", "size_banded")
+
+#: Queue models the sharded composite understands: ``round`` is the
+#: PR 5 dispatch-round makespan, ``event`` the event-driven per-shard
+#: FIFO simulator with per-request latency (see
+#: :mod:`repro.disk.events`).
+QUEUE_KINDS = ("round", "event")
 
 
 def _parse_bool(value: Any) -> bool:
@@ -111,6 +120,19 @@ class StoreSpec:
     #: Default duty cycle for :meth:`ShardedStore.rebuild` (1.0 = flat
     #: out, 0.25 = rebuild occupies a quarter of wall time).
     rebuild_rate: float = 1.0
+    #: Queue model for the overlap scheduler: ``round`` (makespan, the
+    #: PR 5 model) or ``event`` (per-shard FIFO queues with
+    #: per-request p50/p95/p99 latency).  ``event`` requires
+    #: ``overlap=true``.
+    queue: str = "round"
+    #: Per-shard FIFO depth under ``queue=event`` (0 = unbounded; a
+    #: full queue blocks the submitter until completions free space).
+    queue_depth: int = 64
+    #: Arrival process under ``queue=event`` (see
+    #: :class:`~repro.disk.events.ArrivalSpec`): ``closed`` replays
+    #: dispatch rounds, ``poisson:rate=...`` re-times requests onto an
+    #: open-loop Poisson timeline.
+    arrival: str = "closed"
 
     def __post_init__(self) -> None:
         if not self.backend:
@@ -139,6 +161,15 @@ class StoreSpec:
             raise ConfigError("replicas must be >= 1")
         if not 0.0 < self.rebuild_rate <= 1.0:
             raise ConfigError("rebuild_rate must be in (0, 1]")
+        if self.queue not in QUEUE_KINDS:
+            raise ConfigError(
+                f"unknown queue model {self.queue!r}; "
+                f"choose from {QUEUE_KINDS}"
+            )
+        if self.queue_depth < 0:
+            raise ConfigError(
+                "queue depth must be >= 0 (0 = unbounded)"
+            )
         opts = self.options
         if isinstance(opts, Mapping):
             opts = tuple(sorted(opts.items()))
@@ -201,11 +232,12 @@ class StoreSpec:
             profile = FaultProfile.parse(self.faults)
             faults_of = [profile.for_shard(i).text()
                          for i in range(self.shards)]
-        # Overlap and replication are properties of the composite's
-        # dispatch loop, not of the individual shards — sub-specs must
-        # not re-trigger them.
+        # Overlap, replication, and the event queue are properties of
+        # the composite's dispatch loop, not of the individual shards —
+        # sub-specs must not re-trigger them.
         return [replace(self, shards=1, volume_bytes=per_shard,
-                        overlap=False, replicas=1, faults=faults_of[i])
+                        overlap=False, replicas=1, faults=faults_of[i],
+                        queue="round", queue_depth=64, arrival="closed")
                 for i in range(self.shards)]
 
     # ------------------------------------------------------------------
@@ -229,6 +261,9 @@ class StoreSpec:
             "replicas": self.replicas,
             "faults": self.faults,
             "rebuild_rate": self.rebuild_rate,
+            "queue": self.queue,
+            "queue_depth": self.queue_depth,
+            "arrival": self.arrival,
         }
 
     # ------------------------------------------------------------------
@@ -309,6 +344,12 @@ class StoreSpec:
                         f"bad rebuild_rate {value!r}; expected a float "
                         "in (0, 1]"
                     ) from None
+            elif key == "queue":
+                fields["queue"] = value
+            elif key == "depth":
+                fields["queue_depth"] = _parse_int(value, key)
+            elif key == "arrival":
+                fields["arrival"] = value
             else:
                 options[key] = value
         if batch_size is not None or reorder is not None:

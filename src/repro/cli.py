@@ -19,9 +19,12 @@ Examples::
 :class:`repro.backends.spec.StoreSpec`); spec-level keys are
 ``volume``, ``write_request``, ``reorder``, ``batch``, ``shards``,
 ``placement``, ``store_data``, ``replicas``, ``faults``,
-``rebuild_rate`` (explicit spec keys win over the
-``--volume``/``--write-request`` flag defaults); everything else is a
-backend option validated by the registry.  ``--shards N`` stripes the
+``rebuild_rate``, ``queue``, ``depth``, ``arrival`` (explicit spec
+keys win over the ``--volume``/``--write-request`` flag defaults);
+everything else is a backend option validated by the registry.
+``queue=event`` (with ``overlap=true``) runs the event-driven shard
+queue simulator, adding p50/p95/p99 read-latency tables — e.g.
+``--store 'lfs:shards=4,overlap=true,queue=event,depth=64,arrival=poisson:rate=2e3'``.  ``--shards N`` stripes the
 chosen store over N sub-volumes; ``--replicas K`` keeps K copies of
 every object on distinct shards; ``--faults SPEC`` injects device
 faults (grammar in :mod:`repro.disk.faults`), e.g.
@@ -198,6 +201,21 @@ def _result_table(results: dict) -> str:
     if wall:
         blocks.append(render_series_table(
             "Read throughput (overlapped wall time)", "age", wall))
+    # Event-queue stores (queue=event) report per-request sojourn
+    # percentiles of every read sweep next to the throughput tables.
+    latency = {
+        f"{name} {label}": [(s.age, getattr(s, field) * 1e3)
+                            for s in run.samples]
+        for name, run in results.items()
+        for label, field in (("rd p50 ms", "read_lat_p50_s"),
+                             ("rd p95 ms", "read_lat_p95_s"),
+                             ("rd p99 ms", "read_lat_p99_s"))
+        if any(s.read_lat_count for s in run.samples)
+    }
+    if latency:
+        blocks.append(render_series_table(
+            "Read latency percentiles (queue=event)", "age", latency,
+            y_format="{:.3f}"))
     # Fault-tolerance counters only appear once something actually
     # degraded — healthy (or unsharded) runs print the classic tables.
     counters = (("degraded rds", "degraded_reads"), ("retries", "retries"),

@@ -58,9 +58,11 @@ from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 #: Bumped whenever the config record or sample schema grows (``/2``:
 #: ``rebalance_ages`` and wall-time fields; ``/3``: fault-tolerance —
 #: ``rebuild_ages``, spec ``replicas``/``faults``/``rebuild_rate``, and
-#: degradation counters in samples): older checkpoints hash differently
-#: and must be refused with a schema error, not a config mismatch.
-CHECKPOINT_SCHEMA = "run-checkpoint/3"
+#: degradation counters in samples; ``/4``: event queue — spec
+#: ``queue``/``queue_depth``/``arrival`` and read-latency percentiles
+#: in samples): older checkpoints hash differently and must be refused
+#: with a schema error, not a config mismatch.
+CHECKPOINT_SCHEMA = "run-checkpoint/4"
 
 #: Every registered backend, derived from the registry — not a
 #: hand-maintained tuple.  Includes the ``sharded`` composite.
@@ -485,6 +487,11 @@ class ExperimentRunner:
             failovers=stats.failovers,
             rebuilt_objects=stats.rebuilt_objects,
             dead_shards=len(getattr(store, "dead_shards", ())),
+            read_lat_count=read.lat_count,
+            read_lat_p50_s=read.lat_p50_s,
+            read_lat_p95_s=read.lat_p95_s,
+            read_lat_p99_s=read.lat_p99_s,
+            read_lat_max_s=read.lat_max_s,
         )
 
 

@@ -52,6 +52,15 @@ class AgeSample:
     rebuilt_objects: int = 0
     #: Shards permanently lost as of this sample.
     dead_shards: int = 0
+    #: Per-request sojourn latency of the read sweep (event-queue
+    #: stores only; all zero when the store runs no event scheduler).
+    #: Percentile estimates carry the histogram's documented <= 5%
+    #: relative error; ``read_lat_max_s`` is exact.
+    read_lat_count: int = 0
+    read_lat_p50_s: float = 0.0
+    read_lat_p95_s: float = 0.0
+    read_lat_p99_s: float = 0.0
+    read_lat_max_s: float = 0.0
 
     def row(self) -> dict[str, float]:
         return {

@@ -69,6 +69,28 @@ class PhaseResult:
     def seeks(self) -> int:
         return self.window.seeks
 
+    #: Per-request latency summary (zeros when the store runs no event
+    #: scheduler; see repro.disk.events).
+    @property
+    def lat_count(self) -> int:
+        return self.window.lat_count
+
+    @property
+    def lat_p50_s(self) -> float:
+        return self.window.lat_p50_s
+
+    @property
+    def lat_p95_s(self) -> float:
+        return self.window.lat_p95_s
+
+    @property
+    def lat_p99_s(self) -> float:
+        return self.window.lat_p99_s
+
+    @property
+    def lat_max_s(self) -> float:
+        return self.window.lat_max_s
+
 
 class _PhaseHandle:
     """Mutable handle the ``measure`` context yields."""
@@ -131,10 +153,20 @@ def measure_read_throughput(store: ObjectStore, state: WorkloadState,
 
     Both paths draw the same keys from ``rng``, so the measured object
     population is identical whichever path runs.
+
+    Event-queue stores (``queue=event``) take the per-object path:
+    one ``read_many`` fan-out is a single giant round, which would
+    yield one latency sample per shard; per-object gets make every
+    read its own queued request, so the sweep produces a full sojourn
+    distribution.
     """
     if via_read_many is None:
-        via_read_many = (getattr(store, "scheduler", None) is not None
-                         or not _default_policy(store))
+        scheduler = getattr(store, "scheduler", None)
+        if getattr(scheduler, "is_event", False):
+            via_read_many = False
+        else:
+            via_read_many = (scheduler is not None
+                             or not _default_policy(store))
     if not via_read_many:
         with measure(store, "read-sweep") as phase:
             phase.add_bytes(read_sweep(store, state, nreads, rng))

@@ -36,6 +36,15 @@ class WindowStats:
     #: runs a :class:`~repro.disk.schedule.ShardScheduler`; ``None``
     #: means no overlap model applies and wall time equals the sum.
     wall_time_s: float | None = None
+    #: Per-request sojourn-latency summary, filled by
+    #: :class:`~repro.backends.base.MeasurementWindows` when the store
+    #: runs an event scheduler (:mod:`repro.disk.events`); ``lat_count
+    #: == 0`` means no latency model applies.
+    lat_count: int = 0
+    lat_p50_s: float = 0.0
+    lat_p95_s: float = 0.0
+    lat_p99_s: float = 0.0
+    lat_max_s: float = 0.0
 
     @property
     def total_bytes(self) -> int:

@@ -112,8 +112,15 @@ class ShardScheduler:
                 "dispatch_overhead_s must be a finite value >= 0"
             )
 
-    def record_round(self, lane_times: Sequence[float]) -> float:
-        """Account one dispatch round; returns the round's wall time."""
+    def record_round(self, lane_times: Sequence[float],
+                     indices: Sequence[int] | None = None) -> float:
+        """Account one dispatch round; returns the round's wall time.
+
+        ``indices`` names the shard behind each lane; the makespan
+        model has no per-shard state so it ignores them, but the
+        event-driven subclass (:class:`~repro.disk.events.
+        EventScheduler`) routes each lane to that shard's FIFO queue.
+        """
         wall = round_makespan(lane_times, self.parallelism)
         if wall <= 0.0:
             return 0.0

@@ -1,0 +1,311 @@
+"""Unit tests for the event-driven shard queue simulator.
+
+Three families:
+
+* :class:`ArrivalSpec` grammar — parse/round-trip/validation, and the
+  deterministic arrival substream.
+* :class:`LatencyHistogram` — the streaming estimator against exact
+  sorted-sample nearest-rank percentiles on adversarial distributions
+  (bimodal, single-sample, all-equal), pinned to the documented
+  relative-error bound, plus monotonicity and clamping.
+* :class:`EventScheduler` behaviour — closed-mode reduction, poisson
+  queueing/blocking (depth, clients), drain, stalls, and mode
+  switching.
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.disk.events import (
+    ARRIVAL_MODES,
+    HIST_REL_ERROR,
+    ArrivalSpec,
+    EventScheduler,
+    EventWindow,
+    LatencyHistogram,
+)
+from repro.disk.schedule import ShardScheduler
+from repro.errors import ConfigError
+
+
+def exact_percentile(values, q):
+    """Nearest-rank percentile over the sorted sample (the reference)."""
+    ordered = sorted(values)
+    rank = min(len(ordered), max(1, math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+class TestArrivalSpec:
+    def test_parse_closed(self):
+        spec = ArrivalSpec.parse("closed")
+        assert spec.mode == "closed"
+        assert spec.text() == "closed"
+
+    def test_parse_poisson_full(self):
+        spec = ArrivalSpec.parse("poisson:rate=2e3:clients=16:seed=9")
+        assert spec.rate == 2e3
+        assert spec.clients == 16
+        assert spec.seed == 9
+        assert ArrivalSpec.parse(spec.text()) == spec
+
+    def test_comma_and_colon_are_interchangeable(self):
+        a = ArrivalSpec.parse("poisson:rate=100,clients=4")
+        b = ArrivalSpec.parse("poisson,rate=100:clients=4")
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ArrivalSpec.parse("uniform")
+        with pytest.raises(ConfigError):
+            ArrivalSpec.parse("poisson")  # needs a rate
+        with pytest.raises(ConfigError):
+            ArrivalSpec.parse("poisson:rate=0")
+        with pytest.raises(ConfigError):
+            ArrivalSpec.parse("poisson:rate=nope")
+        with pytest.raises(ConfigError):
+            ArrivalSpec.parse("poisson:rate=10:burst=2")
+        with pytest.raises(ConfigError):
+            ArrivalSpec.parse("closed:rate=10")
+        assert "closed" in ARRIVAL_MODES and "poisson" in ARRIVAL_MODES
+
+    def test_arrival_stream_is_deterministic(self):
+        spec = ArrivalSpec.parse("poisson:rate=100:seed=3")
+        a = [spec.make_rng().expovariate(spec.rate) for _ in range(4)]
+        b = [spec.make_rng().expovariate(spec.rate) for _ in range(4)]
+        assert a == b
+        other = ArrivalSpec.parse("poisson:rate=100:seed=4").make_rng()
+        assert [other.expovariate(spec.rate) for _ in range(4)] != a
+
+
+class TestLatencyHistogram:
+    def test_single_sample_is_exact(self):
+        hist = LatencyHistogram()
+        hist.record(0.0123)
+        for q in (0, 50, 95, 99, 100):
+            assert hist.percentile(q) == 0.0123
+        assert hist.max_s == 0.0123
+        assert hist.count == 1
+
+    def test_all_equal_is_exact(self):
+        hist = LatencyHistogram()
+        for _ in range(1000):
+            hist.record(0.004)
+        for q in (1, 50, 99):
+            assert hist.percentile(q) == 0.004
+
+    def test_bimodal_within_documented_error(self):
+        # Half a millisecond, half a second: the p50 boundary sits
+        # exactly between the modes, the worst case for a bucketed
+        # estimator.
+        values = [1e-3] * 500 + [1.0] * 500
+        hist = LatencyHistogram()
+        for v in values:
+            hist.record(v)
+        for q in (10, 50, 50.1, 90, 99, 100):
+            exact = exact_percentile(values, q)
+            estimate = hist.percentile(q)
+            assert abs(estimate - exact) <= HIST_REL_ERROR * exact
+
+    def test_random_samples_within_documented_error(self):
+        rng = random.Random(11)
+        values = [rng.lognormvariate(-6.0, 1.5) for _ in range(2000)]
+        hist = LatencyHistogram()
+        for v in values:
+            hist.record(v)
+        for q in (1, 25, 50, 75, 95, 99, 99.9):
+            exact = exact_percentile(values, q)
+            assert abs(hist.percentile(q) - exact) <= HIST_REL_ERROR * exact
+
+    def test_percentiles_are_monotone_and_clamped(self):
+        rng = random.Random(5)
+        hist = LatencyHistogram()
+        for _ in range(500):
+            hist.record(rng.expovariate(100.0))
+        estimates = [hist.percentile(q) for q in range(0, 101, 5)]
+        assert estimates == sorted(estimates)
+        assert estimates[0] >= hist.min_s
+        assert estimates[-1] <= hist.max_s
+
+    def test_zero_and_negative_clamp_to_zero_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(-1.0)
+        assert hist.count == 2
+        assert hist.percentile(50) == 0.0
+        assert hist.max_s == 0.0
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.mean_s == 0.0
+        assert hist.summary()["count"] == 0
+        with pytest.raises(ConfigError):
+            hist.percentile(101)
+
+    def test_summary_fields(self):
+        hist = LatencyHistogram()
+        for v in (0.001, 0.002, 0.003):
+            hist.record(v)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["max_s"] == 0.003
+        assert summary["p50_s"] <= summary["p95_s"] <= summary["p99_s"]
+
+
+class TestClosedMode:
+    def test_reduces_to_round_makespan(self):
+        event = EventScheduler(4, parallelism=2)
+        base = ShardScheduler(parallelism=2)
+        rounds = [[0.3, 0.1, 0.2, 0.05], [0.0, 0.0], [1.0], [0.4, 0.4]]
+        for lanes in rounds:
+            event.record_round(lanes, indices=range(len(lanes)))
+            base.record_round(lanes)
+        assert event.wall_time_s == base.wall_time_s
+        assert event.lane_time_s == base.lane_time_s
+        assert event.rounds == base.rounds
+
+    def test_latency_without_queueing_is_the_service_time(self):
+        # parallelism=0: one worker per lane, so nothing ever waits
+        # and every sojourn is its lane's service time.
+        event = EventScheduler(3, parallelism=0)
+        event.record_round([0.2, 0.5, 0.1], indices=(0, 1, 2))
+        assert event.latency.count == 3
+        assert event.latency.max_s == 0.5
+        assert event.submitted == event.completed == 3
+
+    def test_serial_latency_accumulates_queueing(self):
+        # parallelism=1 serializes the round longest-first; the last
+        # (shortest) lane's sojourn is the whole round.
+        event = EventScheduler(3, parallelism=1)
+        event.record_round([0.2, 0.5, 0.1], indices=(0, 1, 2))
+        assert event.latency.max_s == pytest.approx(0.8)
+        assert event.wall_time_s == pytest.approx(0.8)
+
+    def test_windows_carry_histograms(self):
+        event = EventScheduler(2)
+        win = event.start_window("phase")
+        assert isinstance(win, EventWindow)
+        event.record_round([0.1, 0.2], indices=(0, 1))
+        event.end_window(win)
+        assert win.latency.count == 2
+        event.record_round([0.3], indices=(0,))
+        assert win.latency.count == 2       # closed windows stop
+        assert event.latency.count == 3     # cumulative keeps going
+
+
+class TestPoissonMode:
+    def make(self, rate=100.0, **kw):
+        return EventScheduler(
+            2, arrival=f"poisson:rate={rate}", **kw)
+
+    def test_conserves_requests_and_lane_time(self):
+        sched = self.make()
+        for _ in range(10):
+            sched.record_round([0.001, 0.002], indices=(0, 1))
+        sched.drain()
+        assert sched.submitted == sched.completed == 20
+        assert sched.latency.count == 20
+        assert sched.lane_time_s == pytest.approx(10 * 0.003)
+        assert sched.queued == 0 and sched.in_flight == 0
+
+    def test_saturation_grows_the_tail(self):
+        # Service 10x the mean inter-arrival: queues must build and
+        # late sojourns dwarf early ones.
+        fast = self.make(rate=1000.0)
+        slow_service = 0.01
+        for _ in range(50):
+            fast.record_round([slow_service], indices=(0,))
+        fast.drain()
+        assert fast.latency.max_s > 10 * slow_service
+        assert fast.latency.percentile(99) > fast.latency.percentile(50)
+
+    def test_bounded_depth_blocks_and_bounds_the_queue(self):
+        sched = EventScheduler(1, depth=4, arrival="poisson:rate=1e6")
+        for _ in range(100):
+            sched.record_round([0.01], indices=(0,))
+        assert sched.max_queue_depth <= 4
+        sched.drain()
+        assert sched.completed == 100
+
+    def test_client_cap_bounds_in_flight(self):
+        sched = EventScheduler(
+            2, arrival="poisson:rate=1e6:clients=3", depth=0)
+        peak = 0
+        for _ in range(50):
+            sched.record_round([0.01, 0.01], indices=(0, 1))
+            peak = max(peak, sched.in_flight)
+        assert peak <= 3
+        sched.drain()
+        assert sched.completed == 100
+
+    def test_wall_time_is_the_completion_frontier(self):
+        sched = self.make(rate=10.0)
+        sched.record_round([0.5], indices=(0,))
+        sched.drain()
+        # Arrival happened at some t > 0; wall = completion frontier
+        # must cover arrival + service.
+        assert sched.wall_time_s > 0.5
+
+    def test_stalls_overlap_the_queue_frontier(self):
+        sched = self.make(rate=100.0)
+        sched.record_round([0.01], indices=(0,))
+        wall_before = sched.wall_time_s
+        sched.record_stall(100.0)
+        assert sched.wall_time_s == pytest.approx(wall_before + 100.0)
+        # The stall pushed the charged frontier past every pending
+        # completion, so draining adds no extra wall time.
+        sched.drain()
+        assert sched.wall_time_s == pytest.approx(wall_before + 100.0)
+
+    def test_end_window_drains_in_flight_work(self):
+        sched = self.make(rate=50.0)
+        win = sched.start_window("sweep")
+        for _ in range(5):
+            sched.record_round([0.01, 0.02], indices=(0, 1))
+        assert sched.in_flight > 0
+        sched.end_window(win)
+        assert sched.in_flight == 0
+        assert win.latency.count == 10
+
+    def test_set_arrival_switches_modes(self):
+        sched = EventScheduler(2)
+        sched.record_round([0.1, 0.2], indices=(0, 1))
+        closed_wall = sched.wall_time_s
+        sched.set_arrival("poisson:rate=100")
+        sched.record_round([0.01, 0.01], indices=(0, 1))
+        sched.drain()
+        assert sched.wall_time_s > closed_wall
+        assert sched.latency.count == 4
+
+    def test_identical_seeds_reproduce_identical_runs(self):
+        def run():
+            sched = EventScheduler(
+                2, arrival="poisson:rate=300:seed=5", depth=8)
+            for i in range(30):
+                sched.record_round([0.001 * (1 + i % 3)],
+                                   indices=(i % 2,))
+            sched.drain()
+            return (sched.wall_time_s, sched.latency.summary())
+        assert run() == run()
+
+    def test_pickle_round_trip_mid_flight(self):
+        sched = self.make(rate=50.0)
+        for _ in range(5):
+            sched.record_round([0.01, 0.03], indices=(0, 1))
+        assert sched.in_flight > 0
+        clone = pickle.loads(pickle.dumps(sched))
+        sched.drain()
+        clone.drain()
+        assert clone.wall_time_s == sched.wall_time_s
+        assert clone.latency.summary() == sched.latency.summary()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EventScheduler(0)
+        with pytest.raises(ConfigError):
+            EventScheduler(2, depth=-1)
+        with pytest.raises(ConfigError):
+            EventScheduler(2, arrival="poisson")

@@ -15,6 +15,12 @@ Two families:
   count, live bytes, readability — is invariant, and the overlapped
   wall time of the migration round stays inside the makespan envelope
   of its lane deltas.
+* The event-queue model (:mod:`repro.disk.events`) reduces to this
+  round model: with closed arrivals and no cross-round queueing, the
+  :class:`~repro.disk.events.EventScheduler` wall equals
+  :func:`round_makespan` **to the float** for every lane vector and
+  parallelism cap (``parallelism=1`` equals the serial sum exactly),
+  and its sojourn percentiles are monotone in the quantile.
 """
 
 import math
@@ -213,3 +219,58 @@ def test_even_rebalance_never_widens_the_spread(sizes):
     before = live_spread()
     store.rebalance(mode="even")
     assert live_spread() <= before
+
+
+# ----------------------------------------------------------------------
+# Event-model reduction (PR 7): zero queueing == round makespan
+# ----------------------------------------------------------------------
+@given(rounds=st.lists(lane_vectors, min_size=0, max_size=8),
+       parallelism=st.integers(0, 32),
+       overhead=st.floats(min_value=0.0, max_value=0.5))
+@settings(max_examples=150, deadline=None)
+def test_event_model_reduces_to_round_makespan(rounds, parallelism,
+                                               overhead):
+    """Closed arrivals, unbounded depth: the event simulator IS the
+    round model — equal wall per round and cumulatively, to the float,
+    for every parallelism cap."""
+    from repro.disk.events import EventScheduler
+
+    event = EventScheduler(24, parallelism=parallelism,
+                           dispatch_overhead_s=overhead)
+    base = ShardScheduler(parallelism=parallelism,
+                          dispatch_overhead_s=overhead)
+    for lanes in rounds:
+        event_wall = event.record_round(lanes, indices=range(len(lanes)))
+        assert event_wall == base.record_round(lanes)
+        assert event.wall_time_s == base.wall_time_s
+    assert event.rounds == base.rounds
+    assert event.lane_time_s == base.lane_time_s
+
+
+@given(lanes=lane_vectors)
+@settings(max_examples=100, deadline=None)
+def test_event_model_serializes_like_parallelism_one(lanes):
+    from repro.disk.events import EventScheduler
+
+    event = EventScheduler(24, parallelism=1)
+    event.record_round(lanes, indices=range(len(lanes)))
+    assert event.wall_time_s == round_makespan(lanes, 1)
+    assert event.wall_time_s == sum(
+        sorted((t for t in lanes if t > 0.0), reverse=True))
+
+
+@given(rounds=st.lists(lane_vectors, min_size=1, max_size=6),
+       parallelism=st.integers(0, 8))
+@settings(max_examples=100, deadline=None)
+def test_event_model_percentiles_are_monotone(rounds, parallelism):
+    from repro.disk.events import EventScheduler
+
+    event = EventScheduler(24, parallelism=parallelism)
+    for lanes in rounds:
+        event.record_round(lanes, indices=range(len(lanes)))
+    if event.latency.count == 0:
+        return
+    quantiles = [event.latency.percentile(q)
+                 for q in (0, 25, 50, 75, 95, 99, 100)]
+    assert quantiles == sorted(quantiles)
+    assert quantiles[-1] <= event.latency.max_s

@@ -345,3 +345,78 @@ class TestReadMany:
         before = sum(d.clock_s for d in store.devices())
         assert store.read_many([f"k{i}" for i in range(4)]) == [None] * 4
         assert sum(d.clock_s for d in store.devices()) > before
+
+
+class TestEventQueueSpec:
+    """Grammar and validation of queue=event / depth / arrival."""
+
+    def test_parse_event_queue_grammar(self):
+        spec = StoreSpec.parse(
+            "lfs:shards=4,overlap=true,queue=event,depth=32,"
+            "arrival=poisson:rate=2e3:clients=16:seed=7"
+        )
+        assert spec.queue == "event"
+        assert spec.queue_depth == 32
+        assert spec.arrival == "poisson:rate=2e3:clients=16:seed=7"
+        resolved = resolve_spec(spec)
+        assert resolved.queue == "event"
+
+    def test_defaults_are_the_round_model(self):
+        spec = StoreSpec.parse("lfs:shards=4,overlap=true")
+        assert spec.queue == "round"
+        assert spec.queue_depth == 64
+        assert spec.arrival == "closed"
+
+    def test_bad_queue_values_rejected(self):
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:shards=4,overlap=true,queue=fifo")
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:shards=4,overlap=true,queue=event,"
+                            "depth=-1")
+        with pytest.raises(ConfigError):
+            resolve_spec(StoreSpec.parse(
+                "lfs:shards=4,overlap=true,queue=event,"
+                "arrival=poisson"))  # poisson needs a rate
+
+    def test_event_requires_overlap(self):
+        # Mirrors the PR 5 overlap-on-one-shard rejection: the event
+        # queue simulates the overlap scheduler's lanes, so it cannot
+        # run without one.
+        with pytest.raises(ConfigError, match="overlap"):
+            resolve_spec(StoreSpec.parse("lfs:shards=4,queue=event"))
+
+    def test_arrival_requires_event_queue(self):
+        with pytest.raises(ConfigError, match="queue=event"):
+            resolve_spec(StoreSpec.parse(
+                "lfs:shards=4,overlap=true,arrival=poisson:rate=100"))
+
+    def test_shard_specs_clear_queue_options(self):
+        spec = StoreSpec.parse(
+            "lfs:shards=4,overlap=true,queue=event,depth=8,"
+            "arrival=poisson:rate=100,volume=96M"
+        )
+        for sub in spec.shard_specs():
+            assert sub.queue == "round"
+            assert sub.queue_depth == 64
+            assert sub.arrival == "closed"
+            assert not sub.overlap
+
+    def test_to_dict_records_queue_fields(self):
+        spec = StoreSpec.parse(
+            "lfs:shards=4,overlap=true,queue=event,depth=16,"
+            "arrival=poisson:rate=500")
+        payload = spec.to_dict()
+        assert payload["queue"] == "event"
+        assert payload["queue_depth"] == 16
+        assert payload["arrival"] == "poisson:rate=500"
+
+    def test_build_store_wires_the_event_scheduler(self):
+        from repro.disk.events import EventScheduler
+
+        store = build_store(StoreSpec.parse(
+            "lfs:shards=4,overlap=true,queue=event,depth=8,volume=64M"))
+        assert isinstance(store.scheduler, EventScheduler)
+        assert store.scheduler.depth == 8
+        round_store = build_store(StoreSpec.parse(
+            "lfs:shards=4,overlap=true,volume=64M"))
+        assert not getattr(round_store.scheduler, "is_event", False)
