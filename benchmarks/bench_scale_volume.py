@@ -645,9 +645,19 @@ def run_tail_latency(volume: int, seed: int = 31) -> list[dict]:
 
     # Calibration: a closed-loop sweep of the fresh store measures the
     # zero-queueing wall per read; the Poisson rate is a fixed fraction
-    # of that capacity.
-    calibration = sweep("calibrate")
-    closed_wall = calibration["sweep_wall_s"]
+    # of that capacity.  The rate comes from the window's exact wall —
+    # the rounded sweep report could lose precision or even round a
+    # very fast calibration to a zero divisor.
+    order = list(keys)
+    rng.shuffle(order)
+    calibration_win = sched.start_window("calibrate")
+    for key in order:
+        store.get(key)
+    sched.end_window(calibration_win)
+    closed_wall = calibration_win.wall_time_s
+    if closed_wall <= 0.0:
+        raise AssertionError(
+            "tail_latency: calibration sweep charged no wall time")
     rate = TAIL_UTILIZATION * len(keys) / closed_wall
     arrival = f"poisson:rate={rate:g}:seed={seed}"
 
@@ -670,7 +680,7 @@ def run_tail_latency(volume: int, seed: int = 31) -> list[dict]:
     sched.set_arrival(arrival)
     rows = [row("fresh", sweep("fresh"),
                 build_seconds=round(build_s, 4),
-                closed_wall_s=closed_wall)]
+                closed_wall_s=round(closed_wall, 4))]
 
     # Churn to storage age 2 under closed arrivals (background work,
     # not part of the measured open-loop stream), then re-measure.

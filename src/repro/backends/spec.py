@@ -35,7 +35,7 @@ commas separate spec options.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Any, Mapping
 
 from repro.disk.policy import DEFAULT_POLICY, REORDER_KINDS, DevicePolicy
@@ -236,8 +236,7 @@ class StoreSpec:
         # the composite's dispatch loop, not of the individual shards —
         # sub-specs must not re-trigger them.
         return [replace(self, shards=1, volume_bytes=per_shard,
-                        overlap=False, replicas=1, faults=faults_of[i],
-                        queue="round", queue_depth=64, arrival="closed")
+                        faults=faults_of[i], **_COMPOSITE_RESETS)
                 for i in range(self.shards)]
 
     # ------------------------------------------------------------------
@@ -361,6 +360,17 @@ class StoreSpec:
         for key, value in defaults.items():
             fields.setdefault(key, value)
         return cls(**fields)
+
+
+#: Fields a shard sub-spec resets to their declared defaults: the
+#: composite's dispatch loop owns overlap, replication, and the event
+#: queue, so sub-specs must not re-trigger them.  Resolved from the
+#: dataclass so a changed default cannot drift from this reset site.
+_COMPOSITE_RESETS = {
+    f.name: f.default for f in dataclass_fields(StoreSpec)
+    if f.name in ("overlap", "replicas", "queue", "queue_depth",
+                  "arrival")
+}
 
 
 def _jsonable(value: Any) -> Any:

@@ -343,6 +343,12 @@ class EventScheduler(ShardScheduler):
         self._in_service: list[tuple[float, int, EventRequest]] = []
         self._busy_shards: set[int] = set()
         self._free_at = [0.0] * nshards
+        #: Min-heap of the global workers' free times.  ``parallelism``
+        #: caps concurrency on the *timeline*, not just the in-service
+        #: count: a request admitted because a completion freed a
+        #: worker starts no earlier than that worker's free time.
+        cap = self.parallelism if self.parallelism > 0 else nshards
+        self._worker_free = [0.0] * cap
         self._in_flight = 0
 
     # ------------------------------------------------------------------
@@ -484,9 +490,14 @@ class EventScheduler(ShardScheduler):
 
         One request in service per shard; at most ``parallelism``
         (0 = nshards) in service overall; oldest enqueued request
-        first across the idle shards.
+        first across the idle shards.  Dispatch waits for the earliest
+        free *worker* as well as the shard: completions are processed
+        in completion order, so the minimum of the worker clocks is
+        always a worker that has genuinely freed, and a request that
+        queued behind the global cap starts when that worker did —
+        not back-dated to its enqueue time.
         """
-        cap = self.parallelism if self.parallelism > 0 else self.nshards
+        cap = len(self._worker_free)
         while len(self._in_service) < cap:
             head: EventRequest | None = None
             for s, queue in enumerate(self._queues):
@@ -497,9 +508,12 @@ class EventScheduler(ShardScheduler):
             if head is None:
                 return
             self._queues[head.shard].popleft()
+            worker_free_s = heapq.heappop(self._worker_free)
             head.dispatch_s = max(head.enqueue_s,
-                                  self._free_at[head.shard])
+                                  self._free_at[head.shard],
+                                  worker_free_s)
             head.complete_s = head.dispatch_s + head.service_s
+            heapq.heappush(self._worker_free, head.complete_s)
             self._busy_shards.add(head.shard)
             heapq.heappush(self._in_service,
                            (head.complete_s, head.seq, head))

@@ -241,6 +241,33 @@ class TestPoissonMode:
         sched.drain()
         assert sched.completed == 100
 
+    def test_worker_cap_serializes_across_shards(self):
+        # Two shards but one global worker: the second request's shard
+        # is idle, yet it must wait for the first request's completion
+        # to free the worker — its start is the worker's free time,
+        # not its enqueue time.
+        sched = EventScheduler(2, parallelism=1,
+                               arrival="poisson:rate=1e9")
+        sched.record_round([10.0], indices=(0,))
+        sched.record_round([2.0], indices=(1,))
+        sched.drain()
+        # Arrivals are ~nanoseconds apart, so the run serializes:
+        # wall covers both services, and the second request's sojourn
+        # is almost the entire 12 s, not just its own 2 s service.
+        assert sched.wall_time_s == pytest.approx(12.0, abs=1e-3)
+        assert sched.latency.max_s == pytest.approx(12.0, abs=1e-3)
+
+    def test_worker_cap_bounds_concurrency_on_the_timeline(self):
+        # Four shards, two workers, six equal requests arriving at
+        # once: the timeline can never hold more than two in service,
+        # so the wall is at least total service / cap.
+        sched = EventScheduler(4, parallelism=2,
+                               arrival="poisson:rate=1e9")
+        for i in range(6):
+            sched.record_round([1.0], indices=(i % 4,))
+        sched.drain()
+        assert sched.wall_time_s >= 3.0 - 1e-6
+
     def test_wall_time_is_the_completion_frontier(self):
         sched = self.make(rate=10.0)
         sched.record_round([0.5], indices=(0,))

@@ -197,6 +197,27 @@ def test_event_queue_conserves_device_iostats(sequence, arrival, depth):
     assert event_store.store_stats() == round_store.store_stats()
 
 
+@given(sequence=ops, parallelism=st.integers(1, SHARDS))
+@settings(max_examples=20, deadline=None)
+def test_poisson_worker_cap_floors_the_wall_time(sequence, parallelism):
+    """With a global worker cap below the shard count, at most
+    ``parallelism`` requests can be in service at any instant of the
+    timeline, so wall time is at least the devices' summed clocks
+    divided by the cap — a capped run can't secretly overlap more
+    lanes than it has workers."""
+    store = build_store(StoreSpec.parse(
+        f"lfs:shards={SHARDS},overlap=true,queue=event,"
+        f"parallelism={parallelism},arrival=poisson:rate=1000",
+        volume_bytes=96 * MB))
+    apply_ops(store, sequence)
+    sched = store.scheduler
+    sched.drain()
+    total_clock = sum(dev.clock_s for dev in store.devices())
+    assert sched.wall_time_s >= total_clock / parallelism \
+        - REL_EPS * max(1.0, total_clock)
+    assert sched.submitted == sched.completed == sched.latency.count
+
+
 @given(sequence=ops)
 @settings(max_examples=20, deadline=None)
 def test_event_wall_time_respects_the_makespan_envelope(sequence):
