@@ -202,7 +202,9 @@ class NaiveFreeExtentIndex:
 
     @property
     def total_free(self) -> int:
-        return sum(self._len_by_start.values())
+        # Address order, matching __iter__: the reduction order is part
+        # of the bit-exactness contract (int sum, so also order-proof).
+        return sum(self._len_by_start[start] for start in self._starts)
 
     def check_invariants(self) -> None:
         """Verify the two views agree and runs are disjoint and coalesced.

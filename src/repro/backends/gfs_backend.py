@@ -274,7 +274,7 @@ class GfsChunkBackend:
         return free
 
     def store_stats(self) -> StoreStats:
-        live = sum(r.size for r in self._records.values())
+        live = sum(self._records[k].size for k in sorted(self._records))
         used_chunks = len(self._chunks) * self.chunk_size
         return StoreStats(
             objects=len(self._records),
@@ -288,10 +288,12 @@ class GfsChunkBackend:
         used = len(self._chunks) * self.chunk_size
         if used == 0:
             return 0.0
-        dead = sum(c.dead for c in self._chunks.values())
+        # Chunk-id order: accounting reductions state their order.
+        dead = sum(self._chunks[cid].dead for cid in sorted(self._chunks))
         slack = sum(
-            self.chunk_size - c.used
-            for c in self._chunks.values() if c is not self._active
+            self.chunk_size - self._chunks[cid].used
+            for cid in sorted(self._chunks)
+            if self._chunks[cid] is not self._active
         )
         return (dead + slack) / used
 

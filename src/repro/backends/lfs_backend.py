@@ -290,7 +290,7 @@ class LfsBackend:
         return free
 
     def store_stats(self) -> StoreStats:
-        live = sum(loc.size for loc in self._objects.values())
+        live = sum(self._objects[k].size for k in sorted(self._objects))
         free = self._free_count() * self.segment_size
         if self._head is not None:
             free += self.segment_size - self._head.used
@@ -303,7 +303,7 @@ class LfsBackend:
 
     def write_amplification(self) -> float:
         """Cleaner bytes per logical byte written (0 when never cleaned)."""
-        logical = sum(loc.size for loc in self._objects.values())
+        logical = sum(self._objects[k].size for k in sorted(self._objects))
         if self.cleaner_copied_bytes == 0 or logical == 0:
             return 0.0
         return self.cleaner_copied_bytes / max(1, logical)

@@ -58,6 +58,8 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
+from collections.abc import Sequence
+from random import Random
 from dataclasses import dataclass, field
 
 from repro.disk.schedule import SchedulerWindow, ShardScheduler
@@ -81,7 +83,7 @@ HIST_REL_ERROR = HIST_GROWTH ** 0.5 - 1.0
 # ----------------------------------------------------------------------
 # Arrival process
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrivalSpec:
     """How requests arrive at the event queue.
 
@@ -174,7 +176,7 @@ class ArrivalSpec:
             out += f":seed={self.seed}"
         return out
 
-    def make_rng(self):
+    def make_rng(self) -> Random:
         """The deterministic inter-arrival stream for this spec."""
         return substream(self.seed, "arrivals")
 
@@ -354,7 +356,8 @@ class EventScheduler(ShardScheduler):
     # ------------------------------------------------------------------
     # ShardScheduler interface
     # ------------------------------------------------------------------
-    def record_round(self, lane_times, indices=None) -> float:
+    def record_round(self, lane_times: Sequence[float],
+                     indices: Sequence[int] | None = None) -> float:
         if indices is None:
             indices = range(len(lane_times))
         if self.arrival.mode == "closed":
@@ -385,7 +388,7 @@ class EventScheduler(ShardScheduler):
     # ------------------------------------------------------------------
     # Closed mode: exact reduction to the round makespan
     # ------------------------------------------------------------------
-    def _record_closed_round(self, lane_times) -> float:
+    def _record_closed_round(self, lane_times: Sequence[float]) -> float:
         """Simulate one round in round-local time with LPT placement.
 
         Replays :func:`~repro.disk.schedule.round_makespan`'s exact
@@ -440,7 +443,8 @@ class EventScheduler(ShardScheduler):
     # ------------------------------------------------------------------
     # Poisson mode: open-loop arrivals on a global timeline
     # ------------------------------------------------------------------
-    def _record_open_round(self, lane_times, indices) -> float:
+    def _record_open_round(self, lane_times: Sequence[float],
+                           indices: Sequence[int]) -> float:
         pairs = [(int(i) % self.nshards, t)
                  for i, t in zip(indices, lane_times) if t > 0.0]
         if not pairs:

@@ -20,7 +20,7 @@ from repro.errors import ConfigError
 from repro.units import GB, MB, fmt_size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Zone:
     """A contiguous band of the volume with a single media transfer rate.
 
@@ -49,7 +49,7 @@ class Zone:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskGeometry:
     """Capacity plus mechanical parameters of a simulated drive.
 

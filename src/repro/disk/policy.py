@@ -25,7 +25,7 @@ from repro.errors import ConfigError
 REORDER_KINDS = ("none", "clook")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DevicePolicy:
     """Batching and ordering discipline for timed device submissions.
 

@@ -80,7 +80,7 @@ class SchedulerWindow:
     rounds: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardScheduler:
     """Accumulates dispatch rounds into overlapped wall time.
 

@@ -227,7 +227,7 @@ class CheckpointManager:
 # ----------------------------------------------------------------------
 # Store introspection (duck-typed so this layer imports no backend)
 # ----------------------------------------------------------------------
-def fs_components(store) -> list[tuple[str, Any]]:
+def fs_components(store: Any) -> list[tuple[str, Any]]:
     """(label, SimFilesystem) pairs reachable inside an object store.
 
     The filesystem backend exposes one (``vol0``); a sharded composite

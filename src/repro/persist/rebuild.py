@@ -19,6 +19,7 @@ checks, which :func:`rebuild_fs_free_index` re-frames as a
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import Any
 
 from repro.alloc.extent import Extent
 from repro.alloc.freelist import FreeExtentIndex, make_free_index
@@ -49,7 +50,7 @@ def rebuild_free_index(capacity: int, *,
     return index
 
 
-def rebuild_fs_free_index(fs, *, kind: str | None = None) -> _FreeIndex:
+def rebuild_fs_free_index(fs: Any, *, kind: str | None = None) -> _FreeIndex:
     """Rebuild a :class:`~repro.fs.filesystem.SimFilesystem`'s free index.
 
     Sources: the file table's extent maps (allocated), the metadata

@@ -61,7 +61,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 from collections.abc import Callable, Iterator
-from typing import Any
+from typing import Any, cast
 
 from repro.errors import CorruptionError
 
@@ -87,7 +87,7 @@ class MaxWeightAugmentation:
         #: Maps a key to its current weight; used only by rescans.
         self.weight = weight
 
-    def summarize(self, block: list) -> tuple[int, int]:
+    def summarize(self, block: list[Any]) -> tuple[int, int]:
         weight = self.weight
         mx = 0
         cnt = 0
@@ -133,9 +133,9 @@ class BlockedList:
         if load < 2:
             raise CorruptionError("load factor must be at least 2")
         self.load = load
-        self.blocks: list[list] = []
-        self.mins: list = []
-        self.sums: list = []
+        self.blocks: list[list[Any]] = []
+        self.mins: list[Any] = []
+        self.sums: list[tuple[int, int]] = []
         self.augment = augment
         self._n = 0
 
@@ -145,7 +145,7 @@ class BlockedList:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def insert(self, key, weight: int | None = None) -> None:
+    def insert(self, key: Any, weight: int | None = None) -> None:
         """Add ``key`` (must not be present); O(log n + load)."""
         blocks = self.blocks
         mins = self.mins
@@ -155,7 +155,7 @@ class BlockedList:
             blocks.append([key])
             mins.append(key)
             if augment is not None:
-                self.sums.append(augment.add((0, 0), weight))
+                self.sums.append(augment.add((0, 0), cast(int, weight)))
             return
         bi = bisect_right(mins, key) - 1
         if bi < 0:
@@ -165,7 +165,7 @@ class BlockedList:
         if block[0] != mins[bi]:
             mins[bi] = block[0]
         if augment is not None:
-            self.sums[bi] = augment.add(self.sums[bi], weight)
+            self.sums[bi] = augment.add(self.sums[bi], cast(int, weight))
         if len(block) >= 2 * self.load:
             self._split(bi)
 
@@ -181,7 +181,7 @@ class BlockedList:
             self.sums[bi] = augment.summarize(block)
             self.sums.insert(bi + 1, augment.summarize(right))
 
-    def remove(self, key, weight: int | None = None) -> bool:
+    def remove(self, key: Any, weight: int | None = None) -> bool:
         """Drop ``key``; False when it was not present."""
         mins = self.mins
         bi = bisect_right(mins, key) - 1
@@ -203,13 +203,13 @@ class BlockedList:
             mins[bi] = block[0]
         augment = self.augment
         if augment is not None:
-            summary = augment.discard(self.sums[bi], weight)
+            summary = augment.discard(self.sums[bi], cast(int, weight))
             if summary is None:
                 summary = augment.summarize(block)
             self.sums[bi] = summary
         return True
 
-    def replace(self, old, new, *, old_weight: int | None = None,
+    def replace(self, old: Any, new: Any, *, old_weight: int | None = None,
                 new_weight: int | None = None) -> None:
         """Rewrite ``old`` to ``new`` in place — no memmove, O(log n).
 
@@ -231,8 +231,8 @@ class BlockedList:
             mins[bi] = new
         augment = self.augment
         if augment is not None:
-            summary = augment.add(self.sums[bi], new_weight)
-            summary = augment.discard(summary, old_weight)
+            summary = augment.add(self.sums[bi], cast(int, new_weight))
+            summary = augment.discard(summary, cast(int, old_weight))
             if summary is None:
                 summary = augment.summarize(block)
             self.sums[bi] = summary
@@ -240,7 +240,7 @@ class BlockedList:
     # ------------------------------------------------------------------
     # Point queries
     # ------------------------------------------------------------------
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: Any) -> bool:
         bi = bisect_right(self.mins, key) - 1
         if bi < 0:
             return False
@@ -248,7 +248,7 @@ class BlockedList:
         pos = bisect_left(block, key)
         return pos < len(block) and block[pos] == key
 
-    def pred_le(self, key):
+    def pred_le(self, key: Any) -> Any | None:
         """Largest key ``<= key``, or None."""
         bi = bisect_right(self.mins, key) - 1
         if bi < 0:
@@ -257,7 +257,7 @@ class BlockedList:
         pos = bisect_right(block, key) - 1
         return block[pos] if pos >= 0 else None
 
-    def pred_lt(self, key):
+    def pred_lt(self, key: Any) -> Any | None:
         """Largest key ``< key``, or None."""
         bi = bisect_left(self.mins, key) - 1
         if bi < 0:
@@ -266,7 +266,7 @@ class BlockedList:
         pos = bisect_left(block, key) - 1
         return block[pos] if pos >= 0 else None
 
-    def succ_gt(self, key):
+    def succ_gt(self, key: Any) -> Any | None:
         """Smallest key ``> key``, or None."""
         blocks = self.blocks
         if not blocks:
@@ -282,7 +282,7 @@ class BlockedList:
             return blocks[bi + 1][0]
         return None
 
-    def first_ge(self, key):
+    def first_ge(self, key: Any) -> Any | None:
         """Smallest key ``>= key``, or None."""
         blocks = self.blocks
         if not blocks:
@@ -298,26 +298,26 @@ class BlockedList:
             return blocks[bi + 1][0]
         return None
 
-    def first(self):
+    def first(self) -> Any:
         """Smallest key; the list must be non-empty."""
         return self.blocks[0][0]
 
-    def last(self):
+    def last(self) -> Any:
         """Largest key; the list must be non-empty."""
         return self.blocks[-1][-1]
 
     # ------------------------------------------------------------------
     # Iteration
     # ------------------------------------------------------------------
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[Any]:
         for block in self.blocks:
             yield from block
 
-    def iter_desc(self) -> Iterator:
+    def iter_desc(self) -> Iterator[Any]:
         for block in reversed(self.blocks):
             yield from reversed(block)
 
-    def iter_from(self, key) -> Iterator:
+    def iter_from(self, key: Any) -> Iterator[Any]:
         """Keys ``>= key`` in ascending order."""
         blocks = self.blocks
         if not blocks:

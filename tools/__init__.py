@@ -1,0 +1,7 @@
+"""Repo tooling: static checks that keep the simulator's contracts honest.
+
+``tools.reprolint`` is the project linter (see its package docstring);
+``tools/check_docs.py`` is the markdown link + rule-catalogue checker.
+Everything in here is stdlib-only and independent of ``repro`` — the
+checks parse source, they never import the simulator.
+"""

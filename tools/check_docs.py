@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Fail on broken intra-repo links in the markdown docs.
+"""Fail on broken intra-repo links and stale lint-rule references.
 
 Scans ``README.md``, ``docs/*.md``, ``benchmarks/README.md``,
 ``ROADMAP.md``, and ``CHANGES.md`` for inline markdown links/images
@@ -9,7 +9,12 @@ not exist.  External links (``http(s):``, ``mailto:``) and pure
 in-page anchors (``#...``) are ignored; a ``path#anchor`` target is
 checked for the path only.
 
-Stdlib-only so the CI docs job needs no installs::
+Also cross-checks the reprolint rule catalogue: every ``RPL###`` code
+mentioned in the docs must exist in the rule registry, and every
+registered rule must appear in the ``docs/architecture.md`` catalogue
+— so the "Enforced invariants" section cannot rot.
+
+Stdlib-only so the CI lint job needs no installs::
 
     python tools/check_docs.py
 """
@@ -55,6 +60,40 @@ def broken_links(path: Path) -> list[str]:
     return bad
 
 
+RPL_RE = re.compile(r"\bRPL\d{3}\b")
+#: The rule catalogue every registered code must be documented in.
+CATALOGUE_DOC = "docs/architecture.md"
+
+
+def registered_rule_codes() -> set[str]:
+    """Codes known to the reprolint registry (engine + meta rules)."""
+    sys.path.insert(0, str(ROOT))
+    try:
+        from tools.reprolint import all_rules
+    finally:
+        sys.path.pop(0)
+    return set(all_rules())
+
+
+def rule_code_problems() -> list[str]:
+    """Docs referencing unknown codes, and undocumented known codes."""
+    known = registered_rule_codes()
+    problems: list[str] = []
+    catalogued: set[str] = set()
+    for path in doc_files():
+        rel = path.relative_to(ROOT).as_posix()
+        mentioned = set(RPL_RE.findall(path.read_text(encoding="utf-8")))
+        if rel == CATALOGUE_DOC:
+            catalogued = mentioned
+        for code in sorted(mentioned - known):
+            problems.append(f"{rel}: references unknown rule {code}")
+    for code in sorted(known - catalogued):
+        problems.append(
+            f"{CATALOGUE_DOC}: registered rule {code} missing from the "
+            "catalogue")
+    return problems
+
+
 def main() -> int:
     failures = 0
     checked = 0
@@ -63,10 +102,13 @@ def main() -> int:
         for target in broken_links(path):
             failures += 1
             print(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    for problem in rule_code_problems():
+        failures += 1
+        print(problem)
     if failures:
-        print(f"\n{failures} broken link(s) across {checked} file(s)")
+        print(f"\n{failures} problem(s) across {checked} file(s)")
         return 1
-    print(f"ok: {checked} file(s), no broken intra-repo links")
+    print(f"ok: {checked} file(s), links and rule catalogue in sync")
     return 0
 
 

@@ -1,0 +1,122 @@
+"""RPL4xx: performance/robustness hygiene.
+
+RPL401 (mutable default arguments) is a correctness trap everywhere.
+RPL402 keeps ``slots=True`` on the hot-path dataclasses — the
+structures and per-IO/per-window objects the simulator allocates by
+the million — where instance dicts cost real memory and attribute
+typos silently create new state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import FileContext, Finding, rule
+
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+@rule("RPL401", "mutable-default-arg",
+      hint="default to None and create the container in the body, or "
+           "use dataclasses.field(default_factory=...)")
+def check_mutable_defaults(ctx: FileContext) -> Iterator[Finding]:
+    """One shared instance backs every call: flag `def f(x=[])`."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + \
+            [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield Finding(ctx.path, default.lineno, "RPL401",
+                              f"mutable default argument in "
+                              f"`{node.name}(...)`")
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return deco
+    return None
+
+
+def _has_slots_true(deco: ast.expr) -> bool:
+    if not isinstance(deco, ast.Call):
+        return False
+    for kw in deco.keywords:
+        if kw.arg == "slots" and \
+                isinstance(kw.value, ast.Constant) and \
+                kw.value.value is True:
+            return True
+    return False
+
+
+def _defines_dunder_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and \
+                    stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+@rule("RPL402", "hot-path-slots",
+      include=("src/repro/struct/*", "src/repro/alloc/*",
+               "src/repro/disk/*"),
+      hint="add slots=True to @dataclass (or __slots__ on a plain "
+           "struct class)")
+def check_slots(ctx: FileContext) -> Iterator[Finding]:
+    """Hot-path classes must not carry per-instance dicts.
+
+    Dataclasses in the hot directories need ``slots=True``; plain
+    classes in ``src/repro/struct/`` (the pure data structures) need an
+    explicit ``__slots__``.  Exceptions, Protocols, and enums are
+    exempt — they are not allocated per IO.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = _base_names(node)
+        if bases & {"Exception", "Protocol", "Enum", "IntEnum"} or \
+                any(b.endswith("Error") for b in bases):
+            continue
+        deco = _dataclass_decorator(node)
+        if deco is not None:
+            if not _has_slots_true(deco):
+                yield Finding(ctx.path, node.lineno, "RPL402",
+                              f"dataclass `{node.name}` on a hot path "
+                              "lacks slots=True")
+        elif ctx.path.startswith("src/repro/struct/") and \
+                not _defines_dunder_slots(node):
+            yield Finding(ctx.path, node.lineno, "RPL402",
+                          f"structure class `{node.name}` lacks "
+                          "__slots__")

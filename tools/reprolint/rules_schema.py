@@ -1,0 +1,284 @@
+"""RPL2xx: pickled-state schema discipline.
+
+``run-checkpoint/N`` (``CHECKPOINT_SCHEMA``) promises that a resumed
+run sees exactly the state an uninterrupted run would have; the RFXS/
+RJLS codecs make the same promise via ``SNAPSHOT_VERSION``.  Those
+promises break silently when someone adds or renames a field on a
+pickled class without bumping the guard — old checkpoints unpickle
+into objects with missing attributes and the failure surfaces rounds
+later.
+
+The defence is a checked-in manifest
+(``tools/reprolint/schema_manifest.json``) recording, for every class
+on the pickled-state surface (:data:`~tools.reprolint.config.
+MANIFEST_COVERAGE`), its field names and declared defaults, plus the
+guard-token values current when it was generated.  RPL201 rebuilds the
+shapes from the AST and compares:
+
+* shapes changed while the guard value is unchanged → **the** error
+  this family exists for: bump the guard, then regenerate;
+* shapes or guards changed together → stale manifest: regenerate via
+  ``python -m tools.reprolint manifest --write`` (a deliberate act
+  that lands in the diff for review).
+
+RPL202 catches surface growth: a dataclass added to a covered module
+must be listed as tracked or explicitly transient.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterator
+
+from tools.reprolint import config
+from tools.reprolint.engine import Finding, rule
+
+# ----------------------------------------------------------------------
+# Shape extraction
+# ----------------------------------------------------------------------
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[list]:
+    fields: list[list] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            if ast.unparse(stmt.annotation).startswith("ClassVar"):
+                continue
+            default = ast.unparse(stmt.value) if stmt.value else None
+            fields.append([stmt.target.id, default])
+    return fields
+
+
+def _slots_fields(node: ast.ClassDef) -> list[list] | None:
+    for stmt in node.body:
+        value = None
+        if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets):
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name) and \
+                stmt.target.id == "__slots__":
+            value = stmt.value
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return [[elt.value, None] for elt in value.elts
+                    if isinstance(elt, ast.Constant)]
+    return None
+
+
+def _init_fields(node: ast.ClassDef) -> list[list]:
+    """`self.x = ...` targets of __init__/__post_init__, in order."""
+    fields: list[list] = []
+    seen: set[str] = set()
+    for stmt in node.body:
+        if not (isinstance(stmt, ast.FunctionDef)
+                and stmt.name in ("__init__", "__post_init__")):
+            continue
+        for sub in ast.walk(stmt):
+            targets: list[ast.expr] = []
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                targets = [sub.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self" and \
+                        target.attr not in seen:
+                    seen.add(target.attr)
+                    fields.append([target.attr, None])
+    return fields
+
+
+def _class_shape(node: ast.ClassDef) -> dict:
+    """The pickle-relevant shape of one class, plus how it was derived."""
+    if _is_dataclass(node):
+        return {"source": "dataclass", "fields": _dataclass_fields(node)}
+    slots = _slots_fields(node)
+    if slots is not None:
+        return {"source": "slots", "fields": slots}
+    return {"source": "init", "fields": _init_fields(node)}
+
+
+def _module_classes(root: Path, rel: str) -> dict[str, ast.ClassDef]:
+    path = root / rel
+    if not path.is_file():
+        return {}
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return {}
+    return {node.name: node for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)}
+
+
+def read_version_tokens(root: Path) -> dict[str, object]:
+    """Current guard values (``CHECKPOINT_SCHEMA`` etc.) from the AST."""
+    values: dict[str, object] = {}
+    for token, rel in config.VERSION_TOKENS.items():
+        path = root / rel
+        if not path.is_file():
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == token
+                    for t in node.targets) and \
+                    isinstance(node.value, ast.Constant):
+                values[token] = node.value.value
+    return values
+
+
+def build_manifest(root: Path) -> dict:
+    """The manifest document for the tree as it stands."""
+    classes: dict[str, dict] = {}
+    for rel, spec in sorted(config.MANIFEST_COVERAGE.items()):
+        defined = _module_classes(root, rel)
+        for name in spec.get("track", []):
+            key = f"{rel}::{name}"
+            if name not in defined:
+                classes[key] = {"guard": spec["guard"], "missing": True}
+                continue
+            shape = _class_shape(defined[name])
+            classes[key] = {"guard": spec["guard"], **shape}
+    return {
+        "manifest_schema": config.MANIFEST_FORMAT,
+        "versions": read_version_tokens(root),
+        "classes": classes,
+    }
+
+
+def load_manifest(root: Path) -> dict | None:
+    path = root / config.MANIFEST_PATH
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return None
+
+
+def manifest_diff(stored: dict, current: dict) -> list[tuple[str, str]]:
+    """``(class key, what changed)`` pairs, empty when in sync."""
+    out: list[tuple[str, str]] = []
+    stored_classes = stored.get("classes", {})
+    current_classes = current.get("classes", {})
+    for key in sorted(set(stored_classes) - set(current_classes)):
+        out.append((key, "tracked class vanished"))
+    for key in sorted(set(current_classes) - set(stored_classes)):
+        out.append((key, "newly tracked class"))
+    for key in sorted(set(stored_classes) & set(current_classes)):
+        if stored_classes[key] != current_classes[key]:
+            was = stored_classes[key].get("fields")
+            now = current_classes[key].get("fields")
+            out.append((key,
+                        f"shape changed ({_shape_summary(was, now)})"))
+    return out
+
+
+def _shape_summary(was, now) -> str:
+    if was is None or now is None:
+        return "field extraction changed"
+    was_names = {f[0] for f in was}
+    now_names = {f[0] for f in now}
+    bits = []
+    if now_names - was_names:
+        bits.append("added " + ", ".join(sorted(now_names - was_names)))
+    if was_names - now_names:
+        bits.append("removed " + ", ".join(sorted(was_names - now_names)))
+    if not bits:
+        bits.append("defaults changed")
+    return "; ".join(bits)
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+_REGEN = "regenerate via `python -m tools.reprolint manifest --write`"
+
+
+def _class_line(root: Path, key: str) -> tuple[str, int]:
+    rel, _, name = key.partition("::")
+    node = _module_classes(root, rel).get(name)
+    return rel, node.lineno if node is not None else 1
+
+
+@rule("RPL201", "schema-manifest-drift", project=True,
+      hint="bump the guard version when pickled state changes shape, "
+           "then regenerate the manifest")
+def check_manifest(root: Path) -> Iterator[Finding]:
+    """The checked-in schema manifest must match the tree."""
+    stored = load_manifest(root)
+    current = build_manifest(root)
+    if stored is None:
+        yield Finding(config.MANIFEST_PATH, 1, "RPL201",
+                      "schema manifest missing or unreadable", _REGEN)
+        return
+    if stored.get("manifest_schema") != config.MANIFEST_FORMAT:
+        yield Finding(config.MANIFEST_PATH, 1, "RPL201",
+                      "schema manifest has an unknown format tag",
+                      _REGEN)
+        return
+    stored_versions = stored.get("versions", {})
+    current_versions = current["versions"]
+    for key in sorted(set(stored.get("classes", {})) |
+                      set(current["classes"])):
+        stored_cls = stored.get("classes", {}).get(key)
+        current_cls = current["classes"].get(key)
+        if stored_cls == current_cls:
+            continue
+        guard = (current_cls or stored_cls or {}).get("guard")
+        rel, line = _class_line(root, key)
+        bumped = stored_versions.get(guard) != current_versions.get(guard)
+        if current_cls is not None and \
+                current_cls.get("missing"):
+            yield Finding(rel, 1, "RPL201",
+                          f"tracked class `{key}` not found; fix "
+                          "MANIFEST_COVERAGE or the module", _REGEN)
+        elif bumped:
+            yield Finding(rel, line, "RPL201",
+                          f"manifest stale for `{key}` ({guard} was "
+                          "bumped)", _REGEN)
+        else:
+            diff = _shape_summary(
+                (stored_cls or {}).get("fields"),
+                (current_cls or {}).get("fields"))
+            yield Finding(
+                rel, line, "RPL201",
+                f"pickled state of `{key}` changed ({diff}) without "
+                f"bumping {guard}",
+                f"bump {guard}, then {_REGEN}")
+    for token in sorted(set(stored_versions) | set(current_versions)):
+        if stored_versions.get(token) != current_versions.get(token):
+            rel = config.VERSION_TOKENS.get(token, config.MANIFEST_PATH)
+            yield Finding(rel, 1, "RPL201",
+                          f"manifest records {token}="
+                          f"{stored_versions.get(token)!r} but the tree "
+                          f"has {current_versions.get(token)!r}", _REGEN)
+
+
+@rule("RPL202", "unlisted-pickled-class", project=True,
+      hint="list the class as tracked (shape-guarded) or transient "
+           "(never checkpointed) in MANIFEST_COVERAGE")
+def check_unlisted(root: Path) -> Iterator[Finding]:
+    """Dataclasses in covered modules must be tracked or transient."""
+    for rel, spec in sorted(config.MANIFEST_COVERAGE.items()):
+        listed = set(spec.get("track", [])) | \
+            set(spec.get("transient", []))
+        for name, node in sorted(_module_classes(root, rel).items()):
+            if name in listed or not _is_dataclass(node):
+                continue
+            yield Finding(rel, node.lineno, "RPL202",
+                          f"dataclass `{name}` in a manifest-covered "
+                          "module is neither tracked nor transient")

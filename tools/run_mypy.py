@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Run mypy with the repo config, skipping cleanly when absent.
+
+The dev container does not ship mypy and the project installs nothing
+at lint time, so this wrapper exits 0 with a notice when the import
+fails; CI installs mypy and gets the real check.  Exit status is
+mypy's own otherwise.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def main() -> int:
+    try:
+        import mypy  # noqa: F401
+    except ModuleNotFoundError:
+        print("run_mypy: mypy is not installed; skipping "
+              "(CI runs the real check)")
+        return 0
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+    )
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
