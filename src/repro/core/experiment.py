@@ -60,9 +60,12 @@ from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 #: ``rebuild_ages``, spec ``replicas``/``faults``/``rebuild_rate``, and
 #: degradation counters in samples; ``/4``: event queue — spec
 #: ``queue``/``queue_depth``/``arrival`` and read-latency percentiles
-#: in samples): older checkpoints hash differently and must be refused
-#: with a schema error, not a config mismatch.
-CHECKPOINT_SCHEMA = "run-checkpoint/4"
+#: in samples; ``/5``: pickle layout — ``slots=True`` on Zone,
+#: DiskGeometry, DevicePolicy, ArrivalSpec, and ShardScheduler changes
+#: their pickled state from ``__dict__`` to slot tuples): older
+#: checkpoints hash differently and must be refused with a schema
+#: error, not a config mismatch.
+CHECKPOINT_SCHEMA = "run-checkpoint/5"
 
 #: Every registered backend, derived from the registry — not a
 #: hand-maintained tuple.  Includes the ``sharded`` composite.

@@ -234,6 +234,23 @@ class TestSchemaManifest:
         assert codes(findings) == ["RPL201"]
         assert "without bumping" in findings[0].message
 
+    def test_slots_added_without_bump_fails(self, scratch):
+        """slots=True rewires the pickle layout with no field change."""
+        (scratch / "src/mini/state.py").write_text(
+            MODULE.replace("@dataclass", "@dataclass(slots=True)"))
+        findings = rpl2(scratch)
+        assert codes(findings) == ["RPL201"]
+        assert "without bumping CHECKPOINT_SCHEMA" in findings[0].message
+        assert "slots" in findings[0].message
+
+    def test_setstate_added_without_bump_fails(self, scratch):
+        (scratch / "src/mini/state.py").write_text(
+            MODULE + "\n    def __setstate__(self, state):\n"
+                     "        pass\n")
+        findings = rpl2(scratch)
+        assert codes(findings) == ["RPL201"]
+        assert "hooks" in findings[0].message
+
     def test_bumped_guard_reports_stale_manifest(self, scratch):
         (scratch / "src/mini/state.py").write_text(
             MODULE.replace("length: int = 0",
@@ -272,6 +289,41 @@ class TestSchemaManifest:
             MODULE + "\n@dataclass\nclass Extra:\n    x: int = 0\n")
         findings = rpl2(scratch)
         assert "RPL202" in codes(findings)
+
+
+# ----------------------------------------------------------------------
+# Driver behaviour: suppression routing and path validation
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_suppression_in_unscanned_file_applies(self, scratch):
+        """A project finding anchored outside the scanned paths still
+        honours that file's own suppression table."""
+        (scratch / "src/other").mkdir()
+        (scratch / "src/other/util.py").write_text("x = 1\n")
+        (scratch / "src/mini/state.py").write_text(
+            MODULE.replace(
+                "class Frame:",
+                "class Frame:  # reprolint: ok RPL201 (fixture drift)",
+            ).replace("length: int = 0",
+                      "length: int = 0\n    dirty: bool = False"))
+        found = run_lint(["src/other"], root=scratch,
+                         scopes=config.RULE_SCOPES)
+        assert [f.render() for f in found if f.code == "RPL201"] == []
+        # Scanning the file itself routes through the same table.
+        found = run_lint(["src"], root=scratch,
+                         scopes=config.RULE_SCOPES)
+        assert [f.render() for f in found if f.code == "RPL201"] == []
+
+    def test_out_of_root_path_is_a_usage_error(self, tmp_path, capsys):
+        root = tmp_path / "repo"
+        (root / "src").mkdir(parents=True)
+        (root / "src/ok.py").write_text("x = 1\n")
+        outside = tmp_path / "elsewhere.py"
+        outside.write_text("x = 1\n")
+        code = reprolint_main([str(outside), "--root", str(root),
+                               "--no-project-rules"])
+        assert code == 2
+        assert "outside the lint root" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

@@ -58,8 +58,12 @@ def _cmd_lint(argv: list[str]) -> int:
         return 0
     root = Path(args.root).resolve() if args.root else _repo_root()
     paths = args.paths or ["src"]
-    findings = run_lint(paths, root=root, scopes=config.RULE_SCOPES,
-                        project_rules=not args.no_project_rules)
+    try:
+        findings = run_lint(paths, root=root, scopes=config.RULE_SCOPES,
+                            project_rules=not args.no_project_rules)
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
     for finding in findings:
         print(finding.render())
     if findings:
@@ -87,7 +91,13 @@ def _cmd_manifest(argv: list[str]) -> int:
         print()
         return 0
     stored = load_manifest(root)
-    if stored is not None and not args.allow_unbumped:
+    # A manifest in an older format diffs against every class whatever
+    # the pickled state did; the format migration itself is the
+    # deliberate act, so the unbumped-guard refusal only applies when
+    # the stored manifest speaks the current format.
+    if stored is not None and \
+            stored.get("manifest_schema") == config.MANIFEST_FORMAT and \
+            not args.allow_unbumped:
         unbumped = [
             token for token, value in
             stored.get("versions", {}).items()

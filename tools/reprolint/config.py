@@ -12,8 +12,10 @@ from __future__ import annotations
 #: Repo-relative path of the checked-in schema manifest.
 MANIFEST_PATH = "tools/reprolint/schema_manifest.json"
 
-#: Format tag inside the manifest file itself.
-MANIFEST_FORMAT = "reprolint-schema-manifest/1"
+#: Format tag inside the manifest file itself (``/2``: class entries
+#: grew ``slots``/``frozen``/``hooks`` — the pickle-wire-format
+#: modifiers — alongside ``fields``).
+MANIFEST_FORMAT = "reprolint-schema-manifest/2"
 
 #: Per-rule path scoping (fnmatch over repo-relative posix paths; ``*``
 #: crosses ``/``).  Rules not listed here use their declared defaults.

@@ -354,11 +354,17 @@ def run_lint(paths: Iterable[str | Path], *, root: str | Path,
     root = Path(root).resolve()
     known = set(all_rules())
     findings: list[Finding] = []
-    tables: list[tuple[str, list[Suppression]]] = []
+    tables: dict[str, list[Suppression]] = {}
     per_file: dict[str, list[Finding]] = {}
     for file in _iter_py_files(Path(p) if Path(p).is_absolute()
                                else root / p for p in paths):
-        relpath = file.resolve().relative_to(root).as_posix()
+        resolved = file.resolve()
+        try:
+            relpath = resolved.relative_to(root).as_posix()
+        except ValueError:
+            raise ValueError(
+                f"{file} lies outside the lint root {root}; "
+                "pass --root or only paths beneath it") from None
         text = file.read_text(encoding="utf-8")
         try:
             tree = ast.parse(text)
@@ -376,26 +382,41 @@ def run_lint(paths: Iterable[str | Path], *, root: str | Path,
         suppressions, meta = _parse_suppressions(relpath, text, known)
         per_file[relpath] = _apply_suppressions(raw, suppressions)
         findings.extend(meta)
-        tables.append((relpath, suppressions))
+        tables[relpath] = suppressions
     if project_rules:
         project_findings: list[Finding] = []
         for info in _RULES.values():
             if info.project:
                 project_findings.extend(info.check(root))
-        # Project findings anchor to real lines in scanned files, so the
-        # same suppression tables apply.
+        # Project findings anchor to real lines, so the same suppression
+        # tables apply; a finding in a file outside the scanned paths
+        # gets its table parsed on demand (pragma hygiene and unused
+        # checks stay with the scan, since file rules never ran there).
         by_path: dict[str, list[Finding]] = {}
         for finding in project_findings:
             by_path.setdefault(finding.path, []).append(finding)
         for relpath, group in by_path.items():
-            sups = dict(tables).get(relpath)
-            if sups is not None:
-                per_file.setdefault(relpath, []).extend(
-                    _apply_suppressions(group, sups))
-            else:
-                per_file.setdefault(relpath, []).extend(group)
+            sups = tables.get(relpath)
+            if sups is None:
+                sups = _file_suppressions(root, relpath, known)
+            per_file.setdefault(relpath, []).extend(
+                _apply_suppressions(group, sups))
     for relpath, kept in per_file.items():
         findings.extend(kept)
-    for relpath, suppressions in tables:
+    for relpath, suppressions in tables.items():
         findings.extend(_unused_suppressions(relpath, suppressions))
     return sorted(findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def _file_suppressions(root: Path, relpath: str,
+                       known: set[str]) -> list[Suppression]:
+    """Suppression table of a file that was not part of the scan."""
+    path = root / relpath
+    if not path.is_file():
+        return []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return []
+    suppressions, _ = _parse_suppressions(relpath, text, known)
+    return suppressions

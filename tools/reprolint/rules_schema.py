@@ -11,8 +11,11 @@ later.
 The defence is a checked-in manifest
 (``tools/reprolint/schema_manifest.json``) recording, for every class
 on the pickled-state surface (:data:`~tools.reprolint.config.
-MANIFEST_COVERAGE`), its field names and declared defaults, plus the
-guard-token values current when it was generated.  RPL201 rebuilds the
+MANIFEST_COVERAGE`), its field names and declared defaults — plus the
+pickle-wire-format modifiers that change layout without touching a
+field (``slots=True``/``frozen=True`` on the ``@dataclass`` decorator,
+custom ``__getstate__``/``__setstate__``/``__reduce__`` hooks) — and
+the guard-token values current when it was generated.  RPL201 rebuilds the
 shapes from the AST and compares:
 
 * shapes changed while the guard value is unchanged → **the** error
@@ -46,6 +49,40 @@ def _is_dataclass(node: ast.ClassDef) -> bool:
         if name == "dataclass":
             return True
     return False
+
+
+def _dataclass_options(node: ast.ClassDef) -> dict[str, bool]:
+    """``slots``/``frozen`` flags from the ``@dataclass(...)`` call.
+
+    Both change the pickle wire format — ``slots=True`` moves state
+    from ``__dict__`` to slot tuples and ``frozen=True`` swaps the
+    restore path to ``object.__setattr__`` — so they are part of the
+    recorded shape even though no field changes.
+    """
+    opts = {"slots": False, "frozen": False}
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        target = deco.func
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None)
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if kw.arg in opts and isinstance(kw.value, ast.Constant):
+                opts[kw.arg] = bool(kw.value.value)
+    return opts
+
+
+#: Dunders that replace or reshape the default pickle protocol.
+_PICKLE_HOOKS = ("__getstate__", "__setstate__", "__reduce__",
+                 "__reduce_ex__", "__getnewargs__", "__getnewargs_ex__")
+
+
+def _pickle_hooks(node: ast.ClassDef) -> list[str]:
+    defined = {stmt.name for stmt in node.body
+               if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    return sorted(name for name in _PICKLE_HOOKS if name in defined)
 
 
 def _dataclass_fields(node: ast.ClassDef) -> list[list]:
@@ -102,13 +139,24 @@ def _init_fields(node: ast.ClassDef) -> list[list]:
 
 
 def _class_shape(node: ast.ClassDef) -> dict:
-    """The pickle-relevant shape of one class, plus how it was derived."""
+    """The pickle-relevant shape of one class, plus how it was derived.
+
+    Beyond field names and defaults this records everything that can
+    change the pickle wire format without touching a field: the
+    ``slots``/``frozen`` decorator options and any custom pickle
+    hooks (``__getstate__``/``__setstate__``/``__reduce__``…), so such
+    changes also require a guard bump.
+    """
+    hooks = _pickle_hooks(node)
     if _is_dataclass(node):
-        return {"source": "dataclass", "fields": _dataclass_fields(node)}
+        opts = _dataclass_options(node)
+        return {"source": "dataclass", "fields": _dataclass_fields(node),
+                "slots": opts["slots"], "frozen": opts["frozen"],
+                "hooks": hooks}
     slots = _slots_fields(node)
     if slots is not None:
-        return {"source": "slots", "fields": slots}
-    return {"source": "init", "fields": _init_fields(node)}
+        return {"source": "slots", "fields": slots, "hooks": hooks}
+    return {"source": "init", "fields": _init_fields(node), "hooks": hooks}
 
 
 def _module_classes(root: Path, rel: str) -> dict[str, ast.ClassDef]:
@@ -180,14 +228,15 @@ def manifest_diff(stored: dict, current: dict) -> list[tuple[str, str]]:
         out.append((key, "newly tracked class"))
     for key in sorted(set(stored_classes) & set(current_classes)):
         if stored_classes[key] != current_classes[key]:
-            was = stored_classes[key].get("fields")
-            now = current_classes[key].get("fields")
-            out.append((key,
-                        f"shape changed ({_shape_summary(was, now)})"))
+            summary = _shape_summary(stored_classes[key],
+                                     current_classes[key])
+            out.append((key, f"shape changed ({summary})"))
     return out
 
 
-def _shape_summary(was, now) -> str:
+def _shape_summary(was_cls, now_cls) -> str:
+    was_cls, now_cls = was_cls or {}, now_cls or {}
+    was, now = was_cls.get("fields"), now_cls.get("fields")
     if was is None or now is None:
         return "field extraction changed"
     was_names = {f[0] for f in was}
@@ -197,6 +246,13 @@ def _shape_summary(was, now) -> str:
         bits.append("added " + ", ".join(sorted(now_names - was_names)))
     if was_names - now_names:
         bits.append("removed " + ", ".join(sorted(was_names - now_names)))
+    for flag in ("slots", "frozen"):
+        if was_cls.get(flag) != now_cls.get(flag):
+            bits.append(f"{flag}={was_cls.get(flag)} -> "
+                        f"{now_cls.get(flag)}")
+    if was_cls.get("hooks") != now_cls.get("hooks"):
+        bits.append(f"pickle hooks {was_cls.get('hooks')} -> "
+                    f"{now_cls.get('hooks')}")
     if not bits:
         bits.append("defaults changed")
     return "; ".join(bits)
@@ -251,9 +307,7 @@ def check_manifest(root: Path) -> Iterator[Finding]:
                           f"manifest stale for `{key}` ({guard} was "
                           "bumped)", _REGEN)
         else:
-            diff = _shape_summary(
-                (stored_cls or {}).get("fields"),
-                (current_cls or {}).get("fields"))
+            diff = _shape_summary(stored_cls, current_cls)
             yield Finding(
                 rel, line, "RPL201",
                 f"pickled state of `{key}` changed ({diff}) without "
