@@ -59,6 +59,17 @@ implementations):
   never changes, every slowdown shows up as queueing: the aged store's
   p99 sits above the fresh store's, and the degraded store's above
   healthy — the bench raises if degraded p99 undercuts healthy p99.
+* ``continuous_operation`` — foreground tail latency while the store
+  keeps itself healthy: the ``tail_latency`` store (4 shards,
+  ``replicas=2``, ``queue=event``, fixed calibrated Poisson rate) is
+  swept quiescent and then under a grid of checkpoint cadence x
+  rebalance duty cycle, with charged checkpoint write-backs
+  (``checkpoint_rate=``, real encoded snapshot sizes) and a mid-sweep
+  throttled ``rebalance(mode="placement", rate=R)`` sharing the lanes
+  with the measured reads.  The bench raises unless every active p99
+  exceeds the quiescent p99 and, per cadence, p99 falls as the
+  rebalance throttle drops — background work must be visible, and the
+  throttle must actually protect the foreground tail.
 * ``checkpoint_resume`` — the persistence subsystem's parity check,
   run as a bench so CI smokes it and the committed baseline records
   the checkpoint cost: an aging run is checkpointed at every sampled
@@ -70,7 +81,7 @@ implementations):
   3-shard composite.
 
 Results go to ``BENCH_scale_volume.json`` (schema
-``bench-scale-volume/7``, documented in ``benchmarks/README.md``).
+``bench-scale-volume/8``, documented in ``benchmarks/README.md``).
 
 Usage::
 
@@ -147,9 +158,28 @@ TAIL_DEPTH = 64
 TAIL_UTILIZATION = 0.7
 TAIL_REBUILD_SLICE = 8
 
+#: ``continuous_operation`` grid: checkpoints per sweep x rebalance
+#: duty cycle, against one quiescent baseline sweep.  The checkpoint
+#: write-back runs at a fixed duty cycle; the rebalance rates sweep
+#: from unthrottled to heavily throttled.
+CONTINUOUS_CADENCES = (1, 2)
+CONTINUOUS_REBALANCE_RATES = (1.0, 0.5, 0.25)
+CONTINUOUS_CHECKPOINT_RATE = 0.5
+#: Fraction of the population delete/re-put across a sweep (drives
+#: round-robin placement drift for the rebalance to undo), and the
+#: number of churn bursts the drift is spread over — continuous
+#: operation means maintenance interleaves with the foreground, not
+#: one atomic pause.
+CONTINUOUS_DRIFT_FRACTION = 8
+CONTINUOUS_BURSTS = 8
+#: Offered load for the continuous grid, as a fraction of closed-loop
+#: capacity.  Lower than TAIL_UTILIZATION so the quiescent tail stays
+#: close to the service time and background interference stands out.
+CONTINUOUS_UTILIZATION = 0.6
+
 SCENARIOS = ("fs_churn", "segment_store", "batched_writes",
              "sharded_aging", "shard_skew", "degraded_aging",
-             "tail_latency", "checkpoint_resume")
+             "tail_latency", "continuous_operation", "checkpoint_resume")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -749,6 +779,202 @@ def run_tail_latency(volume: int, seed: int = 31) -> list[dict]:
     return rows
 
 
+def run_continuous_operation(volume: int, seed: int = 37) -> list[dict]:
+    """Foreground tail latency while checkpoints and rebalances run.
+
+    Every grid cell gets its own identically-built store (4 shards,
+    ``replicas=2``, ``placement=round_robin``, ``queue=event``): same
+    bulk load, same closed-loop calibration, same shuffled sweep
+    order, same in-sweep delete/re-put churn bursts, same arrival seed
+    — cells differ *only* in the background work their sweep carries,
+    so the grid measures the throttles and nothing else (a shared
+    store would compound LFS aging phase over phase and swamp the
+    signal).  Continuous operation means maintenance interleaves with
+    the foreground: the churn (``CONTINUOUS_DRIFT_FRACTION`` of the
+    population, spread over ``CONTINUOUS_BURSTS`` bursts) drifts keys
+    off their round-robin placement mid-sweep, and each active cell
+    answers every burst with ``rebalance(mode="placement", rate=R)``
+    riding the background lane, plus ``cadence`` charged checkpoint
+    write-backs (real encoded snapshot + pickled-state sizes, duty
+    cycle ``CONTINUOUS_CHECKPOINT_RATE``).  The quiescent cell churns
+    identically but never rebalances or checkpoints.  The bench raises
+    unless every active *foreground* p99 sits strictly above the
+    quiescent p99 and, per cadence, p99 falls as the rebalance
+    throttle drops.
+    """
+    import pickle
+
+    from repro.persist import encode_free_index, encode_journal, \
+        fs_components
+
+    spec = StoreSpec("lfs", volume_bytes=volume, shards=AGING_SHARDS,
+                     placement="round_robin", overlap=True,
+                     replicas=DEGRADED_REPLICAS,
+                     queue="event", queue_depth=TAIL_DEPTH)
+    target = int(volume * OCCUPANCY) // DEGRADED_REPLICAS
+
+    def cell(phase: str, cadence: int = 0,
+             rebalance_rate: float | None = None) -> dict:
+        """Build, calibrate, drift, and sweep one isolated store."""
+        rng = random.Random(seed)
+        store = build_store(spec)
+        sched = store.scheduler
+        keys: list[str] = []
+        loaded = 0
+        t0 = time.perf_counter()
+        while loaded + AGING_OBJECT <= target:
+            key = f"o{len(keys)}"
+            store.put(key, size=AGING_OBJECT)
+            keys.append(key)
+            loaded += AGING_OBJECT
+        build_s = time.perf_counter() - t0
+
+        # What a checkpoint of this store actually costs on the wire:
+        # the per-shard snapshot codecs plus the pickled store state.
+        ckpt_bytes = len(pickle.dumps(store))
+        for _, fs in fs_components(store):
+            ckpt_bytes += len(encode_free_index(fs.free_index))
+            ckpt_bytes += len(encode_journal(fs.journal))
+
+        # Calibration (same convention as tail_latency): closed-loop
+        # sweep of the fresh store, then a fixed open-loop rate.
+        order = list(keys)
+        rng.shuffle(order)
+        calibration_win = sched.start_window("calibrate")
+        for key in order:
+            store.get(key)
+        sched.end_window(calibration_win)
+        closed_wall = calibration_win.wall_time_s
+        if closed_wall <= 0.0:
+            raise AssertionError(
+                "continuous_operation: calibration charged no wall time")
+        rate = CONTINUOUS_UTILIZATION * len(keys) / closed_wall
+
+        # Placement drift, spread over the sweep in bursts: each burst
+        # delete/re-puts a slice of the population, shifting those keys
+        # off the round-robin rotation so the answering rebalance has
+        # real copies to make.  Every cell churns the same keys at the
+        # same sweep positions; only the active cells answer.
+        drift = max(CONTINUOUS_BURSTS,
+                    len(keys) // CONTINUOUS_DRIFT_FRACTION)
+        drifted = rng.sample(keys, drift)
+        group_size = len(drifted) / CONTINUOUS_BURSTS
+        groups = [drifted[round(g * group_size):
+                          round((g + 1) * group_size)]
+                  for g in range(CONTINUOUS_BURSTS)]
+
+        sched.set_arrival(f"poisson:rate={rate:g}:seed={seed}")
+        order = list(keys)
+        rng.shuffle(order)
+        burst_at = {round((g + 1) * len(order) / (CONTINUOUS_BURSTS + 1))
+                    - 1: group for g, group in enumerate(groups)}
+        ckpt_at = {round((c + 1) * len(order) / (cadence + 1)) - 1
+                   for c in range(cadence)}
+        clock0 = sum(d.clock_s for d in store.devices())
+        moved = 0
+        copy_s = 0.0
+        stall_s = 0.0
+        ckpt_s = 0.0
+        win = sched.start_window(phase)
+        t0 = time.perf_counter()
+        for i, key in enumerate(order):
+            store.get(key)
+            group = burst_at.get(i)
+            if group is not None:
+                for name in group:
+                    store.delete(name)
+                    store.put(name, size=AGING_OBJECT)
+                if rebalance_rate:
+                    report = store.rebalance(mode="placement",
+                                             rate=rebalance_rate)
+                    moved += report.moved_objects
+                    copy_s += report.copy_device_s
+                    stall_s += report.stall_s
+            if i in ckpt_at:
+                ckpt_s += store.background_write(
+                    ckpt_bytes, rate=CONTINUOUS_CHECKPOINT_RATE)
+        host_s = time.perf_counter() - t0
+        sched.end_window(win)
+        sched.drain()
+        if not (sched.submitted == sched.completed
+                == sched.latency.count):
+            raise AssertionError(
+                f"continuous_operation[{phase}]: scheduler books "
+                "don't balance")
+        lat = win.latency
+        return {
+            "scenario": "continuous_operation",
+            "phase": phase,
+            "shards": AGING_SHARDS,
+            "replicas": DEGRADED_REPLICAS,
+            "queue_depth": TAIL_DEPTH,
+            "arrival_rate": round(rate, 2),
+            "volume_bytes": volume,
+            "objects": len(keys),
+            "build_seconds": round(build_s, 4),
+            "closed_wall_s": round(closed_wall, 4),
+            "drift_objects": drift,
+            "checkpoints": cadence,
+            "checkpoint_rate": CONTINUOUS_CHECKPOINT_RATE,
+            "checkpoint_bytes": ckpt_bytes,
+            "checkpoint_device_s": round(ckpt_s, 4),
+            "rebalance_rate": rebalance_rate,
+            "churn_bursts": CONTINUOUS_BURSTS,
+            "moved_objects": moved,
+            "rebalance_copy_s": round(copy_s, 4),
+            "rebalance_stall_s": round(stall_s, 4),
+            "sweep_reads": len(order),
+            "sweep_host_seconds": round(host_s, 4),
+            "sweep_device_s": round(
+                sum(d.clock_s for d in store.devices()) - clock0, 4),
+            "sweep_wall_s": round(win.wall_time_s, 4),
+            "lat_count": lat.count,
+            "lat_p50_ms": round(lat.percentile(50) * 1e3, 4),
+            "lat_p95_ms": round(lat.percentile(95) * 1e3, 4),
+            "lat_p99_ms": round(lat.percentile(99) * 1e3, 4),
+            "lat_max_ms": round(lat.max_s * 1e3, 4),
+            "background_requests": win.background_latency.count,
+            "background_max_ms": round(
+                win.background_latency.max_s * 1e3, 4),
+        }
+
+    rows = [cell("quiescent")]
+    for cadence in CONTINUOUS_CADENCES:
+        for rebalance_rate in CONTINUOUS_REBALANCE_RATES:
+            phase = f"ckpt_x{cadence}_rb{rebalance_rate:g}"
+            print(f"    continuous_operation: {phase}", flush=True)
+            row = cell(phase, cadence=cadence,
+                       rebalance_rate=rebalance_rate)
+            if row["moved_objects"] == 0:
+                raise AssertionError(
+                    f"continuous_operation[{phase}]: the placement "
+                    "drift produced nothing for the rebalance to move")
+            rows.append(row)
+
+    quiescent_p99 = rows[0]["lat_p99_ms"]
+    for row in rows[1:]:
+        if row["lat_p99_ms"] <= quiescent_p99:
+            raise AssertionError(
+                f"continuous_operation[{row['phase']}]: active p99 "
+                f"({row['lat_p99_ms']} ms) does not exceed the "
+                f"quiescent p99 ({quiescent_p99} ms)")
+    for cadence in CONTINUOUS_CADENCES:
+        series = [row for row in rows[1:]
+                  if row["checkpoints"] == cadence]
+        p99s = [row["lat_p99_ms"] for row in series]
+        if any(later > earlier for earlier, later in zip(p99s, p99s[1:])):
+            raise AssertionError(
+                f"continuous_operation: p99 did not fall as the "
+                f"rebalance throttle dropped at cadence {cadence}: "
+                f"{[(r['phase'], r['lat_p99_ms']) for r in series]}")
+        if p99s[-1] >= p99s[0]:
+            raise AssertionError(
+                f"continuous_operation: heaviest throttle "
+                f"({series[-1]['phase']}) must beat unthrottled "
+                f"({series[0]['phase']}): {p99s}")
+    return rows
+
+
 def run_checkpoint_resume(volume: int, seed: int = 23) -> list[dict]:
     """Kill an aging run after its mid-run checkpoint and resume it.
 
@@ -899,6 +1125,14 @@ def main(argv: list[str] | None = None) -> int:
               f"{AGING_SHARDS} shards, replicas={DEGRADED_REPLICAS}, "
               f"queue=event depth={TAIL_DEPTH}", flush=True)
         rows.extend(run_tail_latency(tail_volume))
+    if "continuous_operation" in scenarios:
+        continuous_volume = args.aging_volume or (
+            QUICK_AGING_VOLUME if args.quick else AGING_VOLUME)
+        print(f"... continuous_operation @ {continuous_volume // MB} MB "
+              f"volume, {AGING_SHARDS} shards, cadence x rate grid "
+              f"{CONTINUOUS_CADENCES} x {CONTINUOUS_REBALANCE_RATES}",
+              flush=True)
+        rows.extend(run_continuous_operation(continuous_volume))
     if "checkpoint_resume" in scenarios:
         resume_volume = QUICK_RESUME_VOLUME if args.quick else RESUME_VOLUME
         print(f"... checkpoint_resume @ {resume_volume // MB} MB volume",
@@ -958,9 +1192,21 @@ def main(argv: list[str] | None = None) -> int:
     if {"aged", "degraded"} <= tail.keys() and tail["aged"]["lat_p99_ms"] > 0:
         speedups["degraded_p99_penalty"] = round(
             tail["degraded"]["lat_p99_ms"] / tail["aged"]["lat_p99_ms"], 2)
+    continuous = {r["phase"]: r for r in rows
+                  if r.get("scenario") == "continuous_operation"}
+    if continuous:
+        heavy = continuous.get("ckpt_x1_rb1")
+        throttled = continuous.get("ckpt_x1_rb0.25")
+        quiescent = continuous.get("quiescent")
+        if heavy and quiescent and quiescent["lat_p99_ms"] > 0:
+            speedups["continuous_active_p99_inflation"] = round(
+                heavy["lat_p99_ms"] / quiescent["lat_p99_ms"], 2)
+        if heavy and throttled and throttled["lat_p99_ms"] > 0:
+            speedups["continuous_throttle_p99_relief"] = round(
+                heavy["lat_p99_ms"] / throttled["lat_p99_ms"], 2)
 
     report = {
-        "schema": "bench-scale-volume/7",
+        "schema": "bench-scale-volume/8",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -983,6 +1229,12 @@ def main(argv: list[str] | None = None) -> int:
             "tail_depth": TAIL_DEPTH,
             "tail_utilization": TAIL_UTILIZATION,
             "tail_rebuild_slice": TAIL_REBUILD_SLICE,
+            "continuous_cadences": list(CONTINUOUS_CADENCES),
+            "continuous_rebalance_rates": list(CONTINUOUS_REBALANCE_RATES),
+            "continuous_checkpoint_rate": CONTINUOUS_CHECKPOINT_RATE,
+            "continuous_drift_fraction": CONTINUOUS_DRIFT_FRACTION,
+            "continuous_bursts": CONTINUOUS_BURSTS,
+            "continuous_utilization": CONTINUOUS_UTILIZATION,
             "resume_ages": list(RESUME_AGES),
             "scenarios": list(scenarios),
         },
@@ -1061,6 +1313,20 @@ def main(argv: list[str] | None = None) -> int:
                   f"{r['sweep_wall_s']:>8.3f} {r['lat_p50_ms']:>8.2f} "
                   f"{r['lat_p95_ms']:>8.2f} {r['lat_p99_ms']:>8.2f} "
                   f"{r['lat_max_ms']:>8.2f}")
+    continuous_rows = [r for r in rows
+                       if r.get("scenario") == "continuous_operation"]
+    if continuous_rows:
+        print(f"\n{'phase':>16s} {'ckpts':>6s} {'rb rate':>8s} "
+              f"{'moved':>6s} {'stall s':>8s} {'wall s':>8s} "
+              f"{'p50 ms':>8s} {'p99 ms':>8s}")
+        for r in continuous_rows:
+            rb = "-" if r["rebalance_rate"] is None \
+                else f"{r['rebalance_rate']:g}"
+            print(f"{r['phase']:>16s} {r['checkpoints']:>6d} {rb:>8s} "
+                  f"{r['moved_objects']:>6d} "
+                  f"{r['rebalance_stall_s']:>8.3f} "
+                  f"{r['sweep_wall_s']:>8.3f} {r['lat_p50_ms']:>8.2f} "
+                  f"{r['lat_p99_ms']:>8.2f}")
     resume_rows = [r for r in rows
                    if r.get("scenario") == "checkpoint_resume"]
     if resume_rows:

@@ -237,6 +237,8 @@ def build_store(spec: StoreSpec) -> ObjectStore:
                             replicas=spec.replicas,
                             faults=profile,
                             rebuild_rate=spec.rebuild_rate,
+                            rebalance_rate=spec.rebalance_rate,
+                            checkpoint_rate=spec.checkpoint_rate,
                             queue=spec.queue,
                             queue_depth=spec.queue_depth,
                             arrival=spec.arrival)

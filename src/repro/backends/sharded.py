@@ -71,6 +71,27 @@ shards' normal get/put paths and surfaces in
 shard map only has values updated, never reinserted, so the
 :meth:`keys` insertion-order contract survives any rebalance.
 
+Like rebuild, rebalancing is throttled as a duty cycle:
+``rebalance_rate=R`` (spec key of the same name; per-call ``rate=``
+override) stalls ``copy_time * (1-R)/R`` after each migrated object, so
+a gentler rebalance takes proportionally longer while leaving the
+devices free for foreground requests between copies.  The report's
+``copy_device_s`` / ``stall_s`` split the cost the same way rebuild's
+does.
+
+Charged background writes
+-------------------------
+:meth:`background_write` charges a byte volume of non-addressable
+background write traffic — checkpoint write-back is the driver's use —
+through the normal dispatch machinery: the bytes split evenly over the
+live shards, each lane charging a sequential streaming write
+(:meth:`~repro.disk.device.BlockDevice.charge_sequential_write`) inside
+one multi-lane dispatch round, followed by the ``rate`` duty-cycle
+stall.  Under ``queue=event`` the round enters the same per-shard FIFOs
+as foreground requests, so an in-flight checkpoint visibly fattens the
+foreground latency tail; the spec's ``checkpoint_rate`` (default 0 =
+uncharged) sets the default duty cycle.
+
 Replication & degraded operation
 --------------------------------
 With ``replicas=k`` every object lands on its placement-chosen
@@ -145,6 +166,9 @@ class RebalanceReport:
     #: max/min per-shard occupancy before and after the migration.
     skew_before: float
     skew_after: float
+    #: Device seconds spent copying, and throttle stall wall seconds.
+    copy_device_s: float = 0.0
+    stall_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -183,6 +207,8 @@ class ShardedStore:
                  replicas: int = 1,
                  faults: FaultProfile | None = None,
                  rebuild_rate: float = 1.0,
+                 rebalance_rate: float = 1.0,
+                 checkpoint_rate: float = 0.0,
                  queue: str = "round",
                  queue_depth: int = 64,
                  arrival: str = "closed") -> None:
@@ -202,12 +228,22 @@ class ShardedStore:
             raise ConfigError(
                 f"rebuild_rate must be in (0, 1], got {rebuild_rate}"
             )
+        if not 0.0 < rebalance_rate <= 1.0:
+            raise ConfigError(
+                f"rebalance_rate must be in (0, 1], got {rebalance_rate}"
+            )
+        if not 0.0 <= checkpoint_rate <= 1.0:
+            raise ConfigError(
+                f"checkpoint_rate must be in [0, 1], got {checkpoint_rate}"
+            )
         self.shards = list(shards)
         self.placement = placement
         self.band_bytes = band_bytes
         self.replicas = replicas
         self.fault_profile = faults
         self.rebuild_rate = rebuild_rate
+        self.rebalance_rate = rebalance_rate
+        self.checkpoint_rate = checkpoint_rate
         inner = {s.name for s in self.shards}
         inner_name = inner.pop() if len(inner) == 1 else "mixed"
         self.name = f"sharded[{len(self.shards)}x{inner_name}]"
@@ -265,12 +301,16 @@ class ShardedStore:
     # Dispatch rounds (overlap model)
     # ------------------------------------------------------------------
     @contextlib.contextmanager
-    def _dispatch(self, indices: Sequence[int]):
+    def _dispatch(self, indices: Sequence[int], *,
+                  background: bool = False):
         """One scheduler round over the given shard lanes.
 
         Captures each involved shard's device-clock delta across the
         wrapped operation and records the round's makespan; a no-op
-        when the overlap model is off.
+        when the overlap model is off.  ``background`` routes the
+        round down the scheduler's background lane (maintenance I/O:
+        migration copies, checkpoint write-back) so it shares the
+        devices without impersonating foreground arrivals.
         """
         sched = self.scheduler
         if sched is None:
@@ -284,7 +324,7 @@ class ShardedStore:
             sched.record_round([
                 sum(d.clock_s for d in devs) - b
                 for devs, b in zip(lanes, before)
-            ], indices=tuple(indices))
+            ], indices=tuple(indices), background=background)
 
     # ------------------------------------------------------------------
     # Placement
@@ -678,7 +718,7 @@ class ShardedStore:
         dst = self.shards[dst_index]
         lanes = self._lane_devices[src_index] + self._lane_devices[dst_index]
         before = sum(d.clock_s for d in lanes)
-        with self._dispatch((src_index, dst_index)):
+        with self._dispatch((src_index, dst_index), background=True):
             data = src.get(key)
             if dst.exists(key):
                 # Leftover from a crashed pass: replace, never adopt.
@@ -702,8 +742,8 @@ class ShardedStore:
             return float("inf") if hi > 0.0 else 1.0
         return hi / lo
 
-    def rebalance(self, *, mode: str = "even",
-                  on_move=None) -> RebalanceReport:
+    def rebalance(self, *, mode: str = "even", on_move=None,
+                  rate: float | None = None) -> RebalanceReport:
         """Migrate objects between shards; returns what moved.
 
         ``mode="even"`` greedily narrows the live-byte spread: move the
@@ -719,12 +759,20 @@ class ShardedStore:
         callback fired mid-migration — always find the object.  All
         migration I/O goes through the shards' ordinary ``get``/``put``
         paths (and, under the overlap model, one two-lane dispatch
-        round per object).
+        round per object).  ``rate`` (default the store's
+        ``rebalance_rate``) throttles the pass as a duty cycle: after
+        each migrated object the pass stalls ``copy_time * (1-R)/R`` of
+        wall time, leaving the devices idle for foreground traffic.
         """
         if mode not in REBALANCE_MODES:
             raise ConfigError(
                 f"unknown rebalance mode {mode!r}; "
                 f"choose from {REBALANCE_MODES}"
+            )
+        rate = self.rebalance_rate if rate is None else rate
+        if not 0.0 < rate <= 1.0:
+            raise ConfigError(
+                f"rebalance rate must be in (0, 1], got {rate}"
             )
         if self._dead_shards:
             raise ConfigError(
@@ -745,15 +793,24 @@ class ShardedStore:
             moves = [(key, src, dst) for key, src, dst in moves
                      if dst not in self._replica_of.get(key, ())]
         moved_bytes = 0
+        copy_s = stall_s = 0.0
         for key, src, dst in moves:
-            moved_bytes += self._migrate(key, sizes[key], src, dst,
-                                         on_move)
+            size, spent = self._migrate(key, sizes[key], src, dst,
+                                        on_move)
+            moved_bytes += size
+            copy_s += spent
+            if rate < 1.0:
+                pause = spent * (1.0 - rate) / rate
+                self._charge_stall(dst, pause)
+                stall_s += pause
         return RebalanceReport(
             mode=mode,
             moved_objects=len(moves),
             moved_bytes=moved_bytes,
             skew_before=skew_before,
             skew_after=self.occupancy_skew(),
+            copy_device_s=copy_s,
+            stall_s=stall_s,
         )
 
     def _plan_placement(self, sizes: dict[str, int]) -> list:
@@ -809,11 +866,18 @@ class ShardedStore:
         return moves
 
     def _migrate(self, key: str, size: int, src_index: int,
-                 dst_index: int, on_move) -> int:
-        """Copy ``key`` to its new shard, re-route, then delete."""
+                 dst_index: int, on_move) -> tuple[int, float]:
+        """Copy ``key`` to its new shard, re-route, then delete.
+
+        Returns ``(bytes moved, device seconds spent)``; the latter
+        feeds the duty-cycle throttle, measured the same way
+        :meth:`_rebuild_copy` measures its copies.
+        """
         src = self.shards[src_index]
         dst = self.shards[dst_index]
-        with self._dispatch((src_index, dst_index)):
+        lanes = self._lane_devices[src_index] + self._lane_devices[dst_index]
+        before = sum(d.clock_s for d in lanes)
+        with self._dispatch((src_index, dst_index), background=True):
             data = src.get(key)
             if data is not None:
                 dst.put(key, data=data)
@@ -828,7 +892,50 @@ class ShardedStore:
             src.delete(key)
         self.migrated_objects += 1
         self.migrated_bytes += size
-        return size
+        return size, sum(d.clock_s for d in lanes) - before
+
+    # ------------------------------------------------------------------
+    # Charged background writes
+    # ------------------------------------------------------------------
+    def background_write(self, nbytes: int, *,
+                         rate: float | None = None) -> float:
+        """Charge background write traffic through the normal lanes.
+
+        ``nbytes`` splits evenly over the live shards; each lane charges
+        one sequential streaming write inside a single multi-lane
+        dispatch round, so under the overlap model the traffic occupies
+        the same queues as foreground requests.  ``rate`` (default the
+        store's ``checkpoint_rate``) is the duty cycle: the measured
+        device time is followed by a ``spent * (1-R)/R`` stall.  A rate
+        of 0 (or nothing to write) charges nothing and returns 0.0;
+        returns the device seconds spent otherwise.
+        """
+        rate = self.checkpoint_rate if rate is None else rate
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigError(
+                f"background write rate must be in [0, 1], got {rate}"
+            )
+        if nbytes <= 0 or rate <= 0.0:
+            return 0.0
+        live = [i for i in range(len(self.shards))
+                if i not in self._dead_shards]
+        if not live:
+            return 0.0
+        share = nbytes // len(live)
+        remainder = nbytes - share * len(live)
+        lanes = [d for i in live for d in self._lane_devices[i]]
+        before = sum(d.clock_s for d in lanes)
+        with self._dispatch(tuple(live), background=True):
+            for slot, index in enumerate(live):
+                chunk = share + (1 if slot < remainder else 0)
+                devs = self._lane_devices[index]
+                if chunk > 0 and devs:
+                    devs[0].charge_sequential_write(chunk)
+        spent = sum(d.clock_s for d in lanes) - before
+        if rate < 1.0:
+            pause = spent * (1.0 - rate) / rate
+            self._charge_stall(live[0], pause)
+        return spent
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,8 +22,8 @@ Specs have a flag-friendly text form, used by ``--store``::
 The keys ``volume``, ``write_request``, ``store_data``, ``reorder``,
 ``batch``, ``shards``, ``placement``, ``band_bytes``, ``overlap``,
 ``parallelism``, ``dispatch_overhead``, ``replicas``, ``faults``,
-``rebuild_rate``, ``queue``, ``depth``, and ``arrival`` set spec-level
-fields; every other key is a backend option, validated against the
+``rebuild_rate``, ``rebalance_rate``, ``checkpoint_rate``, ``queue``,
+``depth``, and ``arrival`` set spec-level fields; every other key is a backend option, validated against the
 backend's declared option set at build time.  ``faults`` takes a
 fault-profile text (see :mod:`repro.disk.faults`) and ``arrival`` an
 arrival-process text (see :mod:`repro.disk.events`); written inside a
@@ -120,6 +120,13 @@ class StoreSpec:
     #: Default duty cycle for :meth:`ShardedStore.rebuild` (1.0 = flat
     #: out, 0.25 = rebuild occupies a quarter of wall time).
     rebuild_rate: float = 1.0
+    #: Default duty cycle for :meth:`ShardedStore.rebalance` migration
+    #: I/O (1.0 = flat out, throttle pauses below that).
+    rebalance_rate: float = 1.0
+    #: Duty cycle for charged checkpoint write-back
+    #: (:meth:`ShardedStore.background_write`); 0.0 (the default) keeps
+    #: checkpoint I/O uncharged, preserving the historical timeline.
+    checkpoint_rate: float = 0.0
     #: Queue model for the overlap scheduler: ``round`` (makespan, the
     #: PR 5 model) or ``event`` (per-shard FIFO queues with
     #: per-request p50/p95/p99 latency).  ``event`` requires
@@ -161,6 +168,12 @@ class StoreSpec:
             raise ConfigError("replicas must be >= 1")
         if not 0.0 < self.rebuild_rate <= 1.0:
             raise ConfigError("rebuild_rate must be in (0, 1]")
+        if not 0.0 < self.rebalance_rate <= 1.0:
+            raise ConfigError("rebalance_rate must be in (0, 1]")
+        if not 0.0 <= self.checkpoint_rate <= 1.0:
+            raise ConfigError(
+                "checkpoint_rate must be in [0, 1] (0 = uncharged)"
+            )
         if self.queue not in QUEUE_KINDS:
             raise ConfigError(
                 f"unknown queue model {self.queue!r}; "
@@ -260,6 +273,8 @@ class StoreSpec:
             "replicas": self.replicas,
             "faults": self.faults,
             "rebuild_rate": self.rebuild_rate,
+            "rebalance_rate": self.rebalance_rate,
+            "checkpoint_rate": self.checkpoint_rate,
             "queue": self.queue,
             "queue_depth": self.queue_depth,
             "arrival": self.arrival,
@@ -342,6 +357,22 @@ class StoreSpec:
                     raise ConfigError(
                         f"bad rebuild_rate {value!r}; expected a float "
                         "in (0, 1]"
+                    ) from None
+            elif key == "rebalance_rate":
+                try:
+                    fields["rebalance_rate"] = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad rebalance_rate {value!r}; expected a float "
+                        "in (0, 1]"
+                    ) from None
+            elif key == "checkpoint_rate":
+                try:
+                    fields["checkpoint_rate"] = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad checkpoint_rate {value!r}; expected a float "
+                        "in [0, 1]"
                     ) from None
             elif key == "queue":
                 fields["queue"] = value

@@ -19,7 +19,8 @@ Examples::
 :class:`repro.backends.spec.StoreSpec`); spec-level keys are
 ``volume``, ``write_request``, ``reorder``, ``batch``, ``shards``,
 ``placement``, ``store_data``, ``replicas``, ``faults``,
-``rebuild_rate``, ``queue``, ``depth``, ``arrival`` (explicit spec
+``rebuild_rate``, ``rebalance_rate``, ``checkpoint_rate``, ``queue``,
+``depth``, ``arrival`` (explicit spec
 keys win over the ``--volume``/``--write-request`` flag defaults);
 everything else is a backend option validated by the registry.
 ``queue=event`` (with ``overlap=true``) runs the event-driven shard
@@ -119,6 +120,17 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="continue from the newest valid checkpoint "
                              "in --checkpoint-dir (fresh run when none)")
+    parser.add_argument("--checkpoint-keep", type=int, default=2,
+                        metavar="N",
+                        help="published checkpoints to retain (plus "
+                             "whatever a live delta chain still needs; "
+                             "default 2)")
+    parser.add_argument("--checkpoint-full-interval", type=int, default=4,
+                        metavar="N",
+                        help="full-snapshot cadence: every Nth checkpoint "
+                             "is self-contained, the ones between are "
+                             "deltas against their predecessor (1 "
+                             "disables deltas; default 4)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the results as JSON")
 
@@ -238,7 +250,9 @@ def _result_table(results: dict) -> str:
 def _checkpoint_args(args: argparse.Namespace) -> dict:
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
-    return {"checkpoint_dir": args.checkpoint_dir, "resume": args.resume}
+    return {"checkpoint_dir": args.checkpoint_dir, "resume": args.resume,
+            "checkpoint_keep": args.checkpoint_keep,
+            "checkpoint_full_interval": args.checkpoint_full_interval}
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -275,6 +289,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             checkpoint_dir=(Path(ckpt["checkpoint_dir"]) / backend
                             if ckpt["checkpoint_dir"] else None),
             resume=ckpt["resume"],
+            checkpoint_keep=ckpt["checkpoint_keep"],
+            checkpoint_full_interval=ckpt["checkpoint_full_interval"],
         )
         for backend in args.against
     }

@@ -62,10 +62,14 @@ from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 #: ``queue``/``queue_depth``/``arrival`` and read-latency percentiles
 #: in samples; ``/5``: pickle layout — ``slots=True`` on Zone,
 #: DiskGeometry, DevicePolicy, ArrivalSpec, and ShardScheduler changes
-#: their pickled state from ``__dict__`` to slot tuples): older
-#: checkpoints hash differently and must be refused with a schema
-#: error, not a config mismatch.
-CHECKPOINT_SCHEMA = "run-checkpoint/5"
+#: their pickled state from ``__dict__`` to slot tuples; ``/6``:
+#: continuous operation — the spec gains ``rebalance_rate``/
+#: ``checkpoint_rate`` (recorded in the config dict), ShardedStore
+#: carries both as pickled attributes, and with ``checkpoint_rate > 0``
+#: each checkpoint charges its predecessor's write-back through the
+#: store's devices before pickling): older checkpoints hash differently
+#: and must be refused with a schema error, not a config mismatch.
+CHECKPOINT_SCHEMA = "run-checkpoint/6"
 
 #: Every registered backend, derived from the registry — not a
 #: hand-maintained tuple.  Includes the ``sharded`` composite.
@@ -304,7 +308,18 @@ class ExperimentRunner:
     #: Restore from ``checkpoint_dir`` before running (fresh run when
     #: the directory holds no valid checkpoint).
     resume: bool = False
+    #: Checkpoint retention: published heads to keep (plus whatever
+    #: their delta chains still need; see CheckpointManager).
+    checkpoint_keep: int = 2
+    #: Full-snapshot cadence: every Nth checkpoint is self-contained,
+    #: the ones between are stored as deltas against their predecessor.
+    checkpoint_full_interval: int = 4
     _read_rng_seed: int = field(init=False, default=0)
+    #: Stored payload bytes of the last published checkpoint; the next
+    #: save charges this as background write-back (see
+    #: ``_save_checkpoint``).  Travels with the checkpoint via the
+    #: loaded manifest, so resumed runs charge identically.
+    _prev_checkpoint_bytes: int = field(init=False, default=0)
 
     def _notify(self, phase: str, value: float) -> None:
         if callable(self.progress):
@@ -314,7 +329,9 @@ class ExperimentRunner:
         cfg = self.config
         manager = None
         if self.checkpoint_dir is not None:
-            manager = CheckpointManager(self.checkpoint_dir)
+            manager = CheckpointManager(
+                self.checkpoint_dir, keep=self.checkpoint_keep,
+                full_interval=self.checkpoint_full_interval)
         restored = None
         if manager is not None and self.resume:
             restored = self._restore_checkpoint(manager)
@@ -412,7 +429,21 @@ class ExperimentRunner:
         on load these are cross-checked against the unpickled state and
         against a rebuild from the extent maps, so a torn checkpoint is
         rejected instead of resumed.
+
+        With the spec's ``checkpoint_rate > 0``, checkpoint I/O is
+        charged through the store's devices lag-one: saving checkpoint
+        N first charges the stored bytes of checkpoint N-1 as a
+        background sequential write plus the duty-cycle throttle pause
+        (the deferred flush of the previous checkpoint; the final
+        checkpoint's write-back is never charged).  The charge happens
+        *before* pickling, so its device-clock effects travel inside
+        ``state.pkl`` and a resumed run reproduces them exactly — the
+        lag-one bytes are recomputed from the loaded manifest.
         """
+        rate = self.config.resolved_spec().checkpoint_rate
+        if rate > 0.0 and self._prev_checkpoint_bytes > 0:
+            _charge_background_write(self.store,
+                                     self._prev_checkpoint_bytes, rate)
         payload = {
             "store": self.store,
             "state": self.state,
@@ -426,12 +457,14 @@ class ExperimentRunner:
             files[f"free_index-{label}.bin"] = encode_free_index(
                 fs.free_index)
             files[f"journal-{label}.bin"] = encode_journal(fs.journal)
-        manager.save(files, meta={
+        saved = manager.save(files, meta={
             "schema": CHECKPOINT_SCHEMA,
             "config_hash": self._config_hash(),
             "label": self.config.display_label(),
             "done_ages": list(done_ages),
         })
+        self._prev_checkpoint_bytes = sum(
+            info["bytes"] for info in saved.files.values())
 
     def _restore_checkpoint(self, manager: CheckpointManager):
         """Load the newest valid checkpoint, or None for a fresh start."""
@@ -461,6 +494,11 @@ class ExperimentRunner:
             verify_journal(fs.journal, ckpt.read(f"journal-{label}.bin"))
         self.store = store
         self.state = payload["state"]
+        # The resumed run's next save charges exactly what the
+        # uninterrupted run's would have: the stored bytes of this
+        # checkpoint, recomputed from its manifest.
+        self._prev_checkpoint_bytes = sum(
+            info["bytes"] for info in ckpt.files.values())
         return (payload["result"], payload["read_rng"],
                 payload["last_write_mbps"], list(payload["done_ages"]))
 
@@ -498,16 +536,46 @@ class ExperimentRunner:
         )
 
 
+def _charge_background_write(store: ObjectStore | None, nbytes: int,
+                             rate: float) -> None:
+    """Charge ``nbytes`` of background write traffic to a store.
+
+    Sharded stores route the charge through their normal dispatch lanes
+    (:meth:`~repro.backends.sharded.ShardedStore.background_write`,
+    which also takes the duty-cycle pause on the event timeline);
+    single-device stores charge their device directly and account the
+    pause as host time.
+    """
+    if store is None or nbytes <= 0 or rate <= 0.0:
+        return
+    background_write = getattr(store, "background_write", None)
+    if background_write is not None:
+        background_write(nbytes, rate=rate)
+        return
+    devices = store.devices()
+    if not devices:
+        return
+    spent = devices[0].charge_sequential_write(nbytes)
+    if rate < 1.0:
+        devices[0].stats.record_cpu(spent * (1.0 - rate) / rate)
+
+
 def run_experiment(config: ExperimentConfig, progress=None, *,
                    checkpoint_dir: str | Path | None = None,
-                   resume: bool = False) -> RunResult:
+                   resume: bool = False, checkpoint_keep: int = 2,
+                   checkpoint_full_interval: int = 4) -> RunResult:
     """Convenience wrapper: build, run, return the result.
 
     ``checkpoint_dir`` enables a resumable checkpoint after every
     sampled age; ``resume=True`` continues from the newest valid one
     (identical results to the uninterrupted run — the whole state,
     RNG streams and IoStats included, travels with the checkpoint).
+    ``checkpoint_keep`` / ``checkpoint_full_interval`` set retention and
+    the delta-chain cadence (see :class:`CheckpointManager`).
     """
     return ExperimentRunner(config, progress=progress,
                             checkpoint_dir=checkpoint_dir,
-                            resume=resume).run()
+                            resume=resume,
+                            checkpoint_keep=checkpoint_keep,
+                            checkpoint_full_interval=checkpoint_full_interval,
+                            ).run()

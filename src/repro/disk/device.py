@@ -472,6 +472,38 @@ class BlockDevice:
         """Timed single-extent write."""
         self.submit([IoRequest(True, [Extent(offset, length)], data)])
 
+    def charge_sequential_write(self, nbytes: int) -> float:
+        """Charge a background sequential write of ``nbytes``; timing only.
+
+        Models one large streaming request: per-request overhead, the
+        average rotational latency of settling onto the flush location,
+        and media transfer time starting from the current head's zone
+        (wrapping across the volume for writes larger than it).  The
+        charge lands in :attr:`stats` as a single write and advances
+        :attr:`clock_s`; stored content and the head position are
+        untouched — background flush traffic (checkpoint write-back) is
+        not addressable data.  Returns the seconds charged.
+        """
+        if nbytes <= 0:
+            return 0.0
+        geometry = self.geometry
+        service = (geometry.per_request_overhead_s
+                   + geometry.avg_rotational_latency_s)
+        start = self._head
+        remaining = nbytes
+        while remaining > 0:
+            span = min(remaining, geometry.capacity - start)
+            if span <= 0:
+                start = 0
+                continue
+            service += geometry.transfer_time(start, span)
+            remaining -= span
+            start = (start + span) % geometry.capacity
+        self.stats.record(is_write=True, nbytes=nbytes, service_s=service,
+                          seeks=1)
+        self.clock_s += service
+        return service
+
     def flush(self) -> None:
         """Force outstanding writes; modelled as one rotation of latency.
 

@@ -41,10 +41,50 @@ device lane), a global worker cap of ``parallelism`` (0 = one worker
 per shard, matching the round model), FIFO within a shard and
 oldest-first across idle shards when a worker frees.
 
-Stalls (retry backoff, rebuild-throttle pauses) advance the charged
-wall frontier, so foreground completions that overlap a background
-stall are not double-charged — exactly the contention the ROADMAP
-wants measurable.
+Stall/arrival timeline contract
+-------------------------------
+A stall (retry backoff, rebuild/rebalance/checkpoint throttle pause)
+models the *submitting driver* sleeping for that long.  Two rules pin
+its timeline semantics:
+
+1. The stall advances the charged wall frontier by exactly its
+   duration, so completions already scheduled inside the stall window
+   overlap it and add no extra wall time (devices keep working while
+   the driver sleeps; nothing is double-charged).
+2. The open-loop arrival cursor is advanced to at least the new
+   frontier: requests the driver submits *after* the stall cannot
+   arrive inside it.  Without this, post-stall arrivals would enqueue
+   "in the past" — behind queues the stall was giving time to drain —
+   and throttling background work could never relieve the foreground
+   tail.  (:meth:`EventScheduler.set_arrival` anchors a new arrival
+   process to the frontier for the same reason.)
+
+Arrivals between stalls still queue normally: a backlogged device with
+completions beyond the cursor is exactly how open-loop saturation shows
+up, and stalls are the only points where the cursor is pulled forward.
+
+Background lane
+---------------
+Maintenance I/O (checkpoint write-back, migration/rebuild copies) is
+dispatched with ``record_round(..., background=True)``.  Background
+requests share the shard queues and devices with the foreground, but:
+
+1. they enqueue back-to-back at the current arrival cursor without
+   drawing (or consuming) open-loop inter-arrival gaps — a burst is
+   driver-initiated, not an arrival, so it can genuinely saturate a
+   queue instead of being silently throttled to the foreground rate;
+2. their sojourns are recorded into the window's
+   ``background_latency`` histogram, never its foreground ``latency``
+   — so a measurement window reports the foreground tail *under*
+   background interference, not a blend; the scheduler-lifetime
+   ``latency`` histogram keeps every completion so the books
+   (``submitted == completed == latency.count``) stay balanced.
+
+Combined with the stall contract above, a duty-cycle throttle at rate
+``R`` (``spent * (1-R)/R`` stalls between background rounds) both
+spreads the burst out on the timeline and moves subsequent foreground
+arrivals past the pause, which is what lets throttling visibly relieve
+the foreground tail.
 
 The histogram is a sparse log-bucketed summary (8 buckets per octave),
 with nearest-rank percentile estimates clamped to the observed
@@ -115,7 +155,7 @@ class ArrivalSpec:
                 raise ConfigError(
                     "poisson arrivals need rate=<requests/s> > 0"
                 )
-        elif self.rate or self.clients:
+        elif self.rate or self.clients or self.seed:
             raise ConfigError(
                 "closed arrivals take no rate/clients parameters "
                 "(the driver's dispatch rounds are the arrivals)"
@@ -280,6 +320,8 @@ class EventRequest:
     seq: int
     dispatch_s: float = 0.0
     complete_s: float = 0.0
+    #: Driver-initiated maintenance I/O riding the background lane.
+    background: bool = False
 
     @property
     def sojourn_s(self) -> float:
@@ -288,9 +330,17 @@ class EventRequest:
 
 @dataclass(slots=True)
 class EventWindow(SchedulerWindow):
-    """A scheduler window that also collects a latency histogram."""
+    """A scheduler window that also collects latency histograms.
+
+    ``latency`` holds foreground sojourns only; background-lane
+    completions (checkpoint write-back, migration copies) land in
+    ``background_latency`` so maintenance I/O never pollutes the
+    foreground percentiles it is perturbing.
+    """
 
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    background_latency: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
 
 
 # ----------------------------------------------------------------------
@@ -357,21 +407,27 @@ class EventScheduler(ShardScheduler):
     # ShardScheduler interface
     # ------------------------------------------------------------------
     def record_round(self, lane_times: Sequence[float],
-                     indices: Sequence[int] | None = None) -> float:
+                     indices: Sequence[int] | None = None, *,
+                     background: bool = False) -> float:
         if indices is None:
             indices = range(len(lane_times))
         if self.arrival.mode == "closed":
-            return self._record_closed_round(lane_times)
-        return self._record_open_round(lane_times, indices)
+            return self._record_closed_round(lane_times,
+                                             background=background)
+        return self._record_open_round(lane_times, indices, background)
 
     def record_stall(self, seconds: float) -> None:
-        # A stall is wall time with idle devices; advancing the charged
-        # frontier alongside means open-loop completions that overlap
-        # the stall add no *extra* wall — background pauses and
-        # foreground queue drain genuinely contend.
+        # The stall/arrival timeline contract (module docstring): the
+        # charged frontier advances by the stall — completions already
+        # scheduled inside it overlap and add no *extra* wall — and the
+        # arrival cursor is pulled up to the new frontier, because the
+        # submitting driver was asleep: nothing it submits afterwards
+        # can arrive inside the stall window.
         if seconds <= 0.0:
             return
         self._advance_wall(seconds)
+        if self._arrival_cursor < self._charged:
+            self._arrival_cursor = self._charged
 
     def start_window(self, name: str) -> EventWindow:
         win = EventWindow(name=name)
@@ -388,7 +444,8 @@ class EventScheduler(ShardScheduler):
     # ------------------------------------------------------------------
     # Closed mode: exact reduction to the round makespan
     # ------------------------------------------------------------------
-    def _record_closed_round(self, lane_times: Sequence[float]) -> float:
+    def _record_closed_round(self, lane_times: Sequence[float], *,
+                             background: bool = False) -> float:
         """Simulate one round in round-local time with LPT placement.
 
         Replays :func:`~repro.disk.schedule.round_makespan`'s exact
@@ -437,14 +494,15 @@ class EventScheduler(ShardScheduler):
         self.submitted += len(busy)
         self.completed += len(busy)
         for sojourn in completions:
-            self._record_latency(sojourn)
+            self._record_latency(sojourn, background=background)
         return wall
 
     # ------------------------------------------------------------------
     # Poisson mode: open-loop arrivals on a global timeline
     # ------------------------------------------------------------------
     def _record_open_round(self, lane_times: Sequence[float],
-                           indices: Sequence[int]) -> float:
+                           indices: Sequence[int],
+                           background: bool = False) -> float:
         pairs = [(int(i) % self.nshards, t)
                  for i, t in zip(indices, lane_times) if t > 0.0]
         if not pairs:
@@ -460,11 +518,19 @@ class EventScheduler(ShardScheduler):
             # Host-side fan-out cost is serial wall time per round.
             self._advance_wall(self.dispatch_overhead_s)
         for shard, service in pairs:
-            self._submit(shard, service)
+            self._submit(shard, service, background=background)
         return self.wall_time_s - before
 
-    def _submit(self, shard: int, service_s: float) -> None:
-        self._arrival_cursor += self._rng.expovariate(self.arrival.rate)
+    def _submit(self, shard: int, service_s: float, *,
+                background: bool = False) -> None:
+        # Background-lane requests are driver-initiated bursts: they
+        # enqueue back-to-back at the current cursor without drawing
+        # (or consuming) open-loop inter-arrival gaps, so a checkpoint
+        # or migration burst can genuinely saturate a shard queue and
+        # only its duty-cycle stalls spread it out.
+        if not background:
+            self._arrival_cursor += self._rng.expovariate(
+                self.arrival.rate)
         enqueue_s = self._arrival_cursor
         # A closed client set blocks the submitter until one frees...
         if self.arrival.clients > 0:
@@ -479,7 +545,8 @@ class EventScheduler(ShardScheduler):
         while self._in_service and self._in_service[0][0] <= enqueue_s:
             self._complete_one()
         req = EventRequest(shard=shard, service_s=service_s,
-                           enqueue_s=enqueue_s, seq=self._seq)
+                           enqueue_s=enqueue_s, seq=self._seq,
+                           background=background)
         self._seq += 1
         self._queues[shard].append(req)
         self._in_flight += 1
@@ -528,7 +595,8 @@ class EventScheduler(ShardScheduler):
         self._free_at[req.shard] = complete_s
         self._in_flight -= 1
         self.completed += 1
-        self._record_latency(complete_s - req.enqueue_s)
+        self._record_latency(complete_s - req.enqueue_s,
+                             background=req.background)
         if complete_s > self._charged:
             self._charge_wall(complete_s - self._charged)
         self._dispatch_ready()
@@ -566,10 +634,15 @@ class EventScheduler(ShardScheduler):
         frontier with it."""
         self._charge_wall(seconds)
 
-    def _record_latency(self, sojourn_s: float) -> None:
+    def _record_latency(self, sojourn_s: float, *,
+                        background: bool = False) -> None:
+        # The lifetime histogram keeps every completion so the books
+        # (submitted == completed == latency.count) stay balanced;
+        # windows split by lane so foreground percentiles stay pure.
         self.latency.record(sojourn_s)
+        attr = "background_latency" if background else "latency"
         for win in self._windows:
-            lat = getattr(win, "latency", None)
+            lat = getattr(win, attr, None)
             if lat is not None:
                 lat.record(sojourn_s)
 

@@ -113,13 +113,19 @@ class ShardScheduler:
             )
 
     def record_round(self, lane_times: Sequence[float],
-                     indices: Sequence[int] | None = None) -> float:
+                     indices: Sequence[int] | None = None, *,
+                     background: bool = False) -> float:
         """Account one dispatch round; returns the round's wall time.
 
         ``indices`` names the shard behind each lane; the makespan
         model has no per-shard state so it ignores them, but the
         event-driven subclass (:class:`~repro.disk.events.
         EventScheduler`) routes each lane to that shard's FIFO queue.
+        ``background`` marks driver-initiated maintenance I/O
+        (checkpoint write-back, migration copies); the makespan model
+        charges it like any round, but the event subclass keeps it off
+        the open-loop arrival process and out of the foreground
+        latency windows.
         """
         wall = round_makespan(lane_times, self.parallelism)
         if wall <= 0.0:

@@ -7,14 +7,19 @@ they survive a process death.  Three layers, lowest first:
   encodings of the free-extent index (both engines) and the journal's
   recoverable state, each guarded by magic, version, and CRC so a torn
   write is detected rather than mounted.
+* :mod:`repro.persist.delta` — a generic rsync-style binary delta
+  between two payloads under the same CRC framing, pinned to its exact
+  parent by length + CRC; the delta-checkpoint encoding.
 * :mod:`repro.persist.rebuild` — reconstruction of the free index from
   the file table's extent maps (the authoritative source), plus the
   run-for-run cross-check that catches a snapshot diverging from the
   extent maps — the torn/partial-state detector.
 * :mod:`repro.persist.checkpoint` — :class:`CheckpointManager`,
   directory-level checkpoints published by an atomic rename with a
-  manifest of checksums written last; loading skips anything invalid
-  and falls back to the newest checkpoint that verifies.
+  manifest of checksums written last; checkpoints may be stored as
+  delta chains against their predecessor (``full_interval``); loading
+  replays and verifies the whole chain, skips anything invalid, and
+  falls back to the newest checkpoint whose chain is intact.
 
 The experiment driver composes these into ``--checkpoint-dir`` /
 ``--resume`` (see :mod:`repro.core.experiment`); the crash-injection
@@ -23,6 +28,7 @@ deferred-free rule under a kill-point matrix.
 """
 
 from repro.persist.checkpoint import Checkpoint, CheckpointManager, fs_components
+from repro.persist.delta import DELTA_BLOCK, apply_delta, encode_delta
 from repro.persist.rebuild import cross_check, rebuild_free_index, rebuild_fs_free_index
 from repro.persist.snapshot import (
     SNAPSHOT_VERSION,
@@ -35,10 +41,13 @@ from repro.persist.snapshot import (
 )
 
 __all__ = [
+    "DELTA_BLOCK",
     "SNAPSHOT_VERSION",
     "Checkpoint",
     "CheckpointManager",
+    "apply_delta",
     "cross_check",
+    "encode_delta",
     "decode_free_index",
     "decode_journal_state",
     "encode_free_index",

@@ -1,0 +1,211 @@
+"""Binary delta between two snapshot payloads (rsync-style, CRC-framed).
+
+A delta blob encodes ``target`` against ``parent`` as a sequence of
+COPY/INSERT ops, framed exactly like the other persist codecs::
+
+    magic RDLT | version (u16) | block (u16) | parent_len (u64) |
+    parent_crc (u32) | result_len (u64) | result_crc (u32) |
+    nops (u32) | ops | crc32 (u32)
+
+Ops are tag-prefixed: ``0x00`` is COPY of ``(parent_offset, length)``
+(two u64), ``0x01`` is INSERT of ``length`` (u64) raw bytes.  The outer
+CRC covers every byte before it (torn writes surface as
+:class:`~repro.errors.SnapshotError`); ``parent_len``/``parent_crc``
+pin the blob to the exact parent it was encoded against, and
+``result_len``/``result_crc`` verify the reconstruction — a delta can
+never silently apply to the wrong base or produce the wrong bytes.
+
+The encoder is the classic rsync scheme: the parent is hashed in
+aligned ``block``-sized windows under a weak rolling checksum; the
+target is scanned with the same checksum rolled one byte at a time, and
+every weak hit is byte-verified and then extended greedily, so
+mostly-identical inputs (checkpoint payloads between adjacent ages)
+cost one window step per matching block.  Encoding is deterministic:
+the same ``(parent, target, block)`` always produces the same bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import ConfigError, SnapshotError
+from repro.persist.snapshot import (SNAPSHOT_VERSION, _CRC, _crc_frame,
+                                    _open_frame)
+
+#: Default granularity of the parent's weak-hash windows.  Small enough
+#: that checkpoint-sized payloads (tens of KB to a few MB) still find
+#: matches around localized edits, large enough that the table stays
+#: cheap.  Recorded in the header for provenance; apply never needs it.
+DELTA_BLOCK = 128
+
+_DELTA_MAGIC = b"RDLT"
+_DELTA_HEADER = struct.Struct("<4sHHQIQII")
+# magic, version, block, parent_len, parent_crc, result_len, result_crc, nops
+_COPY_OP = struct.Struct("<QQ")            # parent offset, length
+_U64 = struct.Struct("<Q")
+
+_TAG_COPY = 0x00
+_TAG_INSERT = 0x01
+
+
+def _weak_table(parent: bytes, block: int) -> dict[int, list[int]]:
+    """Weak checksum -> aligned parent offsets with that checksum."""
+    table: dict[int, list[int]] = {}
+    for off in range(0, len(parent) - block + 1, block):
+        a = 0
+        b = 0
+        for i in range(block):
+            x = parent[off + i]
+            a += x
+            b += (block - i) * x
+        key = (a & 0xFFFF) | ((b & 0xFFFF) << 16)
+        table.setdefault(key, []).append(off)
+    return table
+
+
+def encode_delta(parent: bytes, target: bytes, *,
+                 block: int = DELTA_BLOCK) -> bytes:
+    """Encode ``target`` as a delta against ``parent``.
+
+    Always succeeds (worst case the delta is one big INSERT); callers
+    decide whether the result is worth storing over a full copy.
+    """
+    if not 1 <= block <= 0xFFFF:
+        raise ConfigError(f"delta block must be in [1, 65535], got {block}")
+    parent = bytes(parent)
+    target = bytes(target)
+    table = _weak_table(parent, block) if len(parent) >= block else {}
+    ops = bytearray()
+    nops = 0
+    literal = bytearray()
+
+    def flush_literal() -> None:
+        nonlocal nops
+        if literal:
+            ops.append(_TAG_INSERT)
+            ops.extend(_U64.pack(len(literal)))
+            ops.extend(literal)
+            literal.clear()
+            nops += 1
+
+    pos = 0
+    n = len(target)
+    a = 0
+    b = 0
+    have_weak = False
+    while pos < n:
+        if not table or n - pos < block:
+            # Tail shorter than a window (or nothing to match against):
+            # the rest is literal.
+            literal += target[pos:]
+            pos = n
+            break
+        if not have_weak:
+            a = 0
+            b = 0
+            for i in range(block):
+                x = target[pos + i]
+                a += x
+                b += (block - i) * x
+            have_weak = True
+        key = (a & 0xFFFF) | ((b & 0xFFFF) << 16)
+        match_off = -1
+        candidates = table.get(key)
+        if candidates is not None:
+            window = target[pos: pos + block]
+            for cand in candidates:
+                if parent[cand: cand + block] == window:
+                    match_off = cand
+                    break
+        if match_off < 0:
+            # Miss: emit one literal byte and roll the window forward.
+            x_out = target[pos]
+            literal.append(x_out)
+            pos += 1
+            if pos + block <= n:
+                x_in = target[pos + block - 1]
+                a = a - x_out + x_in
+                b = b - block * x_out + a
+            else:
+                have_weak = False
+            continue
+        # Verified match: extend greedily past the window.
+        length = block
+        parent_n = len(parent)
+        while (pos + length < n and match_off + length < parent_n
+               and target[pos + length] == parent[match_off + length]):
+            length += 1
+        flush_literal()
+        ops.append(_TAG_COPY)
+        ops += _COPY_OP.pack(match_off, length)
+        nops += 1
+        pos += length
+        have_weak = False
+    flush_literal()
+
+    buf = bytearray(_DELTA_HEADER.pack(
+        _DELTA_MAGIC, SNAPSHOT_VERSION, block,
+        len(parent), zlib.crc32(parent),
+        len(target), zlib.crc32(target), nops,
+    ))
+    buf += ops
+    return _crc_frame(buf)
+
+
+def apply_delta(parent: bytes, blob: bytes) -> bytes:
+    """Reconstruct the target a delta blob encodes against ``parent``.
+
+    Raises :class:`~repro.errors.SnapshotError` on framing damage, on a
+    parent that is not the one the delta was encoded against, on
+    malformed ops, and on a reconstruction whose length or CRC disagrees
+    with the header — a delta either yields exactly the encoded target
+    or refuses.
+    """
+    (_, _, _, parent_len, parent_crc, result_len, result_crc,
+     nops) = _open_frame(blob, _DELTA_MAGIC, _DELTA_HEADER, "delta")
+    parent = bytes(parent)
+    if len(parent) != parent_len or zlib.crc32(parent) != parent_crc:
+        raise SnapshotError(
+            f"delta snapshot was encoded against a different parent "
+            f"({parent_len} bytes, crc {parent_crc:#010x}; got "
+            f"{len(parent)} bytes, crc {zlib.crc32(parent):#010x})"
+        )
+    out = bytearray()
+    offset = _DELTA_HEADER.size
+    end = len(blob) - _CRC.size
+    for _ in range(nops):
+        if offset >= end:
+            raise SnapshotError("delta snapshot ops truncated")
+        tag = blob[offset]
+        offset += 1
+        if tag == _TAG_COPY:
+            if offset + _COPY_OP.size > end:
+                raise SnapshotError("delta snapshot COPY op truncated")
+            src, length = _COPY_OP.unpack_from(blob, offset)
+            offset += _COPY_OP.size
+            if length <= 0 or src + length > parent_len:
+                raise SnapshotError(
+                    f"delta snapshot COPY [{src}, {src + length}) outside "
+                    f"its parent of {parent_len} bytes"
+                )
+            out += parent[src: src + length]
+        elif tag == _TAG_INSERT:
+            if offset + _U64.size > end:
+                raise SnapshotError("delta snapshot INSERT op truncated")
+            (length,) = _U64.unpack_from(blob, offset)
+            offset += _U64.size
+            if length <= 0 or offset + length > end:
+                raise SnapshotError("delta snapshot INSERT data truncated")
+            out += blob[offset: offset + length]
+            offset += length
+        else:
+            raise SnapshotError(f"delta snapshot has unknown op tag {tag}")
+    if offset != end:
+        raise SnapshotError("delta snapshot has trailing bytes after its ops")
+    result = bytes(out)
+    if len(result) != result_len or zlib.crc32(result) != result_crc:
+        raise SnapshotError(
+            "delta snapshot reconstruction failed its checksum"
+        )
+    return result

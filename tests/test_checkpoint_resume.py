@@ -209,6 +209,69 @@ class TestCrashDuringRestore:
         assert resumed.to_dict() == baseline.to_dict()
 
 
+class TestChargedContinuousResume:
+    """Delta chains + charged checkpoint I/O: the continuous-operation
+    configuration.  With ``checkpoint_rate > 0`` the write-back of each
+    checkpoint is part of the modelled run (it perturbs device clocks
+    and the event-queue timeline), so resume must reproduce not just
+    the samples but the charging — including the lag-one byte count the
+    next checkpoint will charge for."""
+
+    def config(self) -> ExperimentConfig:
+        spec = StoreSpec(
+            "filesystem", volume_bytes=96 * MB, shards=3, overlap=True,
+            queue="event", queue_depth=16,
+            arrival="poisson:rate=400:seed=7",
+            checkpoint_rate=0.5,
+        )
+        return ExperimentConfig(
+            store=spec,
+            sizes=ConstantSize(256 * KB),
+            occupancy=0.4,
+            ages=AGES,
+            reads_per_sample=8,
+            seed=13,
+        )
+
+    def chain_links(self, directory) -> list:
+        manager = CheckpointManager(directory)
+        return [manager._manifest_parent_seq(path)
+                for _, path in manager._published()]
+
+    @pytest.mark.parametrize("kill_after_age", [0.0, 1.0])
+    def test_killed_and_resumed_through_a_delta_chain(
+            self, tmp_path, kill_after_age):
+        config = self.config()
+        # The baseline checkpoints too: charged checkpoint I/O is part
+        # of the run being modelled, not an observer effect.
+        baseline = run_experiment(config, checkpoint_dir=tmp_path / "base")
+        run_interrupted(config, tmp_path / "kill", kill_after_age)
+        resumed = run_experiment(config, checkpoint_dir=tmp_path / "kill",
+                                 resume=True)
+        assert resumed.to_dict() == baseline.to_dict()
+        # Non-vacuity: the default full_interval=4 really chained the
+        # checkpoints the resume replayed through.
+        links = self.chain_links(tmp_path / "kill")
+        assert any(link is not None for link in links)
+
+    def test_charged_checkpoints_perturb_the_run(self, tmp_path):
+        """checkpoint_rate=0 must keep the historical uncharged record;
+        turning it on must visibly change the modelled run."""
+        from dataclasses import replace as dc_replace
+
+        charged_cfg = self.config()
+        uncharged_cfg = dc_replace(
+            charged_cfg, store=dc_replace(charged_cfg.store,
+                                          checkpoint_rate=0.0))
+        observer_free = ExperimentRunner(uncharged_cfg).run()
+        uncharged = run_experiment(uncharged_cfg,
+                                   checkpoint_dir=tmp_path / "u")
+        charged = run_experiment(charged_cfg, checkpoint_dir=tmp_path / "c")
+        base = observer_free.to_dict()
+        assert uncharged.to_dict() == base  # rate 0: observer effect off
+        assert charged.to_dict() != base    # rate > 0: I/O is charged
+
+
 class TestCliFlags:
     def test_run_checkpoint_and_resume(self, tmp_path, capsys):
         from repro.cli import main
@@ -227,3 +290,32 @@ class TestCliFlags:
         from repro.cli import main
         with pytest.raises(SystemExit):
             main(["run", "--backend", "filesystem", "--resume"])
+
+    def test_checkpoint_keep_flag_controls_retention(self, tmp_path):
+        from repro.cli import main
+        args = ["run", "--backend", "filesystem", "--volume", "64M",
+                "--object-size", "256K", "--occupancy", "0.4",
+                "--ages", "0,1,2", "--reads", "4",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--checkpoint-keep", "3",
+                "--checkpoint-full-interval", "1"]
+        assert main(args) == 0
+        published = CheckpointManager(tmp_path / "ck")._published()
+        assert len(published) == 3  # one per age, all retained
+
+    def test_keep_validated_against_cadence(self, tmp_path):
+        """keep=1 cannot retain the fallback a delta chain needs."""
+        from repro.cli import main
+        args = ["run", "--backend", "filesystem", "--volume", "64M",
+                "--object-size", "256K", "--occupancy", "0.4",
+                "--ages", "0,1", "--reads", "4",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--checkpoint-keep", "1"]
+        with pytest.raises(ConfigError, match="keep must be >= 2"):
+            main(args)
+
+    def test_keep_plumbed_through_run_experiment(self, tmp_path):
+        config = config_for("tiered")
+        run_experiment(config, checkpoint_dir=tmp_path,
+                       checkpoint_keep=3, checkpoint_full_interval=1)
+        assert len(CheckpointManager(tmp_path)._published()) == 3

@@ -212,3 +212,79 @@ class TestCheckpointWriteKillMatrix:
         leftovers = [p for p in tmp_path.iterdir()
                      if p.name.endswith(".tmp")]
         assert len(leftovers) <= 1  # at most the crashed husk
+
+
+class TestDeltaChainKillMatrix:
+    """Crash during a *delta* save at every chain write boundary.
+
+    The chain already holds ``full -> delta`` when the kill lands; a
+    crash before the atomic publish must leave the intact chain
+    mountable (the delta head replays through its full base), and a
+    crash after must mount the new link.  Either way the next clean
+    save extends or restarts the chain correctly.
+    """
+
+    def payload(self, age: int) -> dict[str, bytes]:
+        base = bytearray(b"\x5a" * 8192)
+        base[age * 101: age * 101 + 8] = b"age=%04d" % age
+        return {"state.bin": bytes(base), "small.bin": bytes([age]) * 16}
+
+    def chained(self, directory, **kwargs):
+        return CheckpointManager(directory, keep=3, full_interval=3,
+                                 **kwargs)
+
+    def _labels(self, tmp_path):
+        """Fault labels of a delta save, probed on an unarmed chain."""
+        labels = []
+        probe = self.chained(tmp_path / "probe")
+        probe.save(self.payload(1), meta={"age": 1})
+        probe.save(self.payload(2), meta={"age": 2})
+        probe.fault_hook = labels.append
+        probe.save(self.payload(3), meta={"age": 3})
+        return labels
+
+    def test_every_chain_write_boundary(self, tmp_path):
+        labels = self._labels(tmp_path)
+        assert "manifest" in labels and "published" in labels
+        assert any(label.startswith("write:") for label in labels)
+        for k, label in enumerate(labels):
+            directory = tmp_path / f"m{k}"
+            setup = self.chained(directory)
+            setup.save(self.payload(1), meta={"age": 1})
+            second = setup.save(self.payload(2), meta={"age": 2})
+            assert second.parent_seq == 1  # the kill lands on a chain
+
+            calls = CrashClock(k)
+            manager = self.chained(directory, fault_hook=calls.hook)
+            with pytest.raises(CrashPoint):
+                manager.save(self.payload(3), meta={"age": 3})
+            latest = self.chained(directory).load_latest()
+            assert latest is not None, "a valid chain must survive"
+            if label == "published":
+                assert latest.meta == {"age": 3}
+                expect = 3
+            else:
+                # The surviving head is the delta at seq 2; mounting it
+                # replays through the full snapshot at seq 1.
+                assert latest.meta == {"age": 2}
+                assert latest.parent_seq == 1
+                expect = 2
+            assert latest.read("state.bin") == \
+                self.payload(expect)["state.bin"]
+            # The volume keeps running: the next clean save publishes a
+            # mountable checkpoint whatever the crash left behind.
+            after = self.chained(directory)
+            saved = after.save(self.payload(4), meta={"age": 4})
+            assert after.load_latest().meta == {"age": 4}
+            assert saved.read("state.bin") == self.payload(4)["state.bin"]
+
+    def test_torn_chain_head_falls_back_to_full(self, tmp_path):
+        """Scribbling the delta head (a torn write that still published)
+        must fall back to the full base, never mount the damage."""
+        manager = self.chained(tmp_path)
+        manager.save(self.payload(1), meta={"age": 1})
+        head = manager.save(self.payload(2), meta={"age": 2})
+        (head.path / "state.bin").write_bytes(b"scribble")
+        latest = self.chained(tmp_path).load_latest()
+        assert latest is not None and latest.meta == {"age": 1}
+        assert latest.read("state.bin") == self.payload(1)["state.bin"]

@@ -71,6 +71,17 @@ class TestArrivalSpec:
             ArrivalSpec.parse("closed:rate=10")
         assert "closed" in ARRIVAL_MODES and "poisson" in ARRIVAL_MODES
 
+    def test_closed_rejects_seed_and_clients_too(self):
+        """``closed:seed=7`` used to parse silently; closed arrivals
+        have no arrival RNG for a seed to feed, so the grammar must
+        reject every parameter, not just rate."""
+        with pytest.raises(ConfigError,
+                           match="closed arrivals take no"):
+            ArrivalSpec.parse("closed:seed=7")
+        with pytest.raises(ConfigError,
+                           match="closed arrivals take no"):
+            ArrivalSpec.parse("closed:clients=4")
+
     def test_arrival_stream_is_deterministic(self):
         spec = ArrivalSpec.parse("poisson:rate=100:seed=3")
         a = [spec.make_rng().expovariate(spec.rate) for _ in range(4)]
@@ -336,3 +347,119 @@ class TestPoissonMode:
             EventScheduler(2, depth=-1)
         with pytest.raises(ConfigError):
             EventScheduler(2, arrival="poisson")
+
+
+class TestStallArrivalContract:
+    """Pin the stall/arrival timeline contract (module docstring).
+
+    A stall advances the charged frontier by exactly its duration
+    (completions already on the timeline overlap with it), and pulls
+    the arrival cursor up to that frontier: the submitting driver was
+    asleep for the stall, so no request it submits afterwards can have
+    "arrived" mid-stall.
+    """
+
+    def backlogged(self) -> EventScheduler:
+        """One lane, near-instant arrivals, ten seconds of backlog."""
+        sched = EventScheduler(1, arrival="poisson:rate=1e6", depth=0)
+        for _ in range(10):
+            sched.record_round([1.0], indices=(0,))
+        return sched
+
+    def test_stall_pulls_the_cursor_to_the_charged_frontier(self):
+        sched = self.backlogged()
+        # Before the stall the cursor trails far behind where the
+        # frontier will land; afterwards they coincide exactly.
+        assert sched._arrival_cursor < 1e-3
+        sched.record_stall(50.0)
+        assert sched._arrival_cursor == sched._charged
+        assert sched._charged == pytest.approx(sched.wall_time_s)
+
+    def test_arrivals_after_a_stall_do_not_backdate(self):
+        """A request submitted after a stall arrives after it: its
+        sojourn is its own service, not the pre-stall backlog it never
+        saw.  (Before the fix the cursor stayed behind the frontier and
+        the post-stall request inherited ~10 s of phantom queueing.)"""
+        sched = self.backlogged()
+        sched.record_stall(20.0)
+        sched.drain()
+        win = sched.start_window("after-stall")
+        sched.record_round([0.5], indices=(0,))
+        sched.end_window(win)
+        assert win.latency.count == 1
+        assert win.latency.max_s == pytest.approx(0.5, rel=1e-3)
+
+    def test_backlog_straddling_a_stall_is_not_double_counted(self):
+        """Completions pending when the stall lands sit inside the
+        stall window: wall grows by exactly the stall, the sojourns
+        keep their queueing chain, and the books still balance."""
+        sched = self.backlogged()
+        wall_before = sched.wall_time_s
+        sched.record_stall(30.0)  # longer than the ~10 s backlog
+        assert sched.wall_time_s == pytest.approx(wall_before + 30.0)
+        sched.drain()  # straddling completions overlap the stall
+        assert sched.wall_time_s == pytest.approx(wall_before + 30.0)
+        assert sched.submitted == sched.completed == 10
+        assert sched.latency.count == 10
+        # The backlog's queueing chain survives: the last request
+        # still waited behind nine 1 s services.
+        assert sched.latency.max_s > 9.0
+
+    def test_zero_and_negative_stalls_are_ignored(self):
+        sched = self.backlogged()
+        wall = sched.wall_time_s
+        cursor = sched._arrival_cursor
+        sched.record_stall(0.0)
+        sched.record_stall(-1.0)
+        assert sched.wall_time_s == wall
+        assert sched._arrival_cursor == cursor
+
+
+class TestBackgroundLane:
+    """``record_round(background=True)``: driver bursts, not arrivals.
+
+    Background rounds share the shard queues but enqueue back-to-back
+    at the current cursor (no inter-arrival draws) and report into the
+    window's ``background_latency``, never its foreground ``latency``.
+    """
+
+    def sched(self) -> EventScheduler:
+        return EventScheduler(2, arrival="poisson:rate=1000:seed=3",
+                              depth=0)
+
+    def test_background_rounds_skip_the_arrival_process(self):
+        sched = self.sched()
+        win = sched.start_window("w")
+        cursor = sched._arrival_cursor
+        sched.record_round([0.2, 0.3], background=True)
+        # No gaps drawn: the open-loop cursor did not move.
+        assert sched._arrival_cursor == cursor
+        sched.end_window(win)
+        assert win.latency.count == 0
+        assert win.background_latency.count == 2
+        # The lifetime books still count every completion.
+        assert sched.submitted == sched.completed == 2
+        assert sched.latency.count == 2
+
+    def test_foreground_queues_behind_an_unthrottled_burst(self):
+        sched = self.sched()
+        sched.record_round([0.5], indices=(0,), background=True)
+        win = sched.start_window("fg")
+        sched.record_round([0.001], indices=(0,))
+        sched.end_window(win)
+        # The foreground request arrived ~1 ms into a 500 ms copy
+        # burst on its shard and waited the burst out.
+        assert win.latency.count == 1
+        assert win.latency.max_s > 0.4
+
+    def test_a_stall_moves_foreground_past_the_burst(self):
+        sched = self.sched()
+        sched.record_round([0.5], indices=(0,), background=True)
+        sched.record_stall(0.5)          # duty-cycle pause at R = 0.5
+        win = sched.start_window("fg")
+        sched.record_round([0.001], indices=(0,))
+        sched.end_window(win)
+        # The pause carried the arrival cursor past the burst, so the
+        # same foreground request now sees an idle shard.
+        assert win.latency.count == 1
+        assert win.latency.max_s < 0.05

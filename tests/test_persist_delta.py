@@ -1,0 +1,163 @@
+"""Tests for the binary delta codec (repro.persist.delta).
+
+Round trips over representative payload shapes, byte determinism,
+wrong-parent and torn-blob rejection, and op-stream validation.  The
+codec underpins delta checkpoint chains (``test_persist_snapshot.py``
+covers the chain layer; ``test_crash_matrix.py`` the crash behaviour).
+"""
+
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import ConfigError, SnapshotError
+from repro.persist import DELTA_BLOCK, apply_delta, encode_delta
+from repro.persist.delta import _CRC, _DELTA_HEADER
+
+
+def mutated(parent: bytes, seed: int = 7, edits: int = 5) -> bytes:
+    """The parent with a handful of localized edits (checkpoint-like)."""
+    rng = random.Random(seed)
+    out = bytearray(parent)
+    for _ in range(edits):
+        if not out:
+            break
+        at = rng.randrange(len(out))
+        kind = rng.randrange(3)
+        chunk = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 40)))
+        if kind == 0:
+            out[at:at] = chunk                    # insert
+        elif kind == 1:
+            out[at: at + len(chunk)] = chunk      # overwrite
+        else:
+            del out[at: at + rng.randrange(1, 40)]  # delete
+    return bytes(out)
+
+
+CASES = [
+    (b"", b""),
+    (b"", b"hello new world"),
+    (b"old content here", b""),
+    (b"identical payload " * 200, b"identical payload " * 200),
+    (b"x" * 10_000, b"y" * 10_000),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("parent,target", CASES)
+    def test_edge_shapes(self, parent, target):
+        assert apply_delta(parent, encode_delta(parent, target)) == target
+
+    def test_localized_edits(self):
+        rng = random.Random(1)
+        parent = bytes(rng.randrange(256) for _ in range(50_000))
+        target = mutated(parent)
+        blob = encode_delta(parent, target)
+        assert apply_delta(parent, blob) == target
+        # Mostly-identical inputs must beat a full copy by a wide margin.
+        assert len(blob) < len(target) // 4
+
+    def test_identical_inputs_collapse(self):
+        parent = bytes(range(256)) * 100
+        blob = encode_delta(parent, parent)
+        assert apply_delta(parent, blob) == parent
+        assert len(blob) < 100  # a header and a single COPY op
+
+    def test_sub_block_payloads(self):
+        parent = b"tiny"
+        target = b"also tiny"
+        assert len(parent) < DELTA_BLOCK and len(target) < DELTA_BLOCK
+        assert apply_delta(parent, encode_delta(parent, target)) == target
+
+    def test_custom_block_size(self):
+        parent = bytes(range(256)) * 8
+        target = mutated(parent, seed=2)
+        blob = encode_delta(parent, target, block=16)
+        assert apply_delta(parent, blob) == target
+
+    def test_block_validation(self):
+        with pytest.raises(ConfigError):
+            encode_delta(b"a", b"b", block=0)
+        with pytest.raises(ConfigError):
+            encode_delta(b"a", b"b", block=0x10000)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_bytes(self):
+        rng = random.Random(3)
+        parent = bytes(rng.randrange(256) for _ in range(20_000))
+        target = mutated(parent, seed=4)
+        assert encode_delta(parent, target) == encode_delta(parent, target)
+
+
+class TestRejection:
+    def make_blob(self):
+        parent = b"the quick brown fox " * 50
+        target = parent.replace(b"quick", b"rapid")
+        return parent, target, encode_delta(parent, target)
+
+    def test_wrong_parent_rejected(self):
+        parent, _, blob = self.make_blob()
+        with pytest.raises(SnapshotError, match="different parent"):
+            apply_delta(parent + b"!", blob)
+        with pytest.raises(SnapshotError, match="different parent"):
+            apply_delta(b"", blob)
+
+    def test_truncated_blob_rejected(self):
+        parent, _, blob = self.make_blob()
+        with pytest.raises(SnapshotError):
+            apply_delta(parent, blob[: len(blob) // 2])
+
+    def test_bit_flip_rejected(self):
+        parent, _, blob = self.make_blob()
+        for at in (2, _DELTA_HEADER.size + 1, len(blob) - 2):
+            flipped = bytearray(blob)
+            flipped[at] ^= 0xFF
+            with pytest.raises(SnapshotError):
+                apply_delta(parent, bytes(flipped))
+
+    def test_bad_magic_rejected(self):
+        parent, _, blob = self.make_blob()
+        bad = b"XXXX" + blob[4:]
+        with pytest.raises(SnapshotError):
+            apply_delta(parent, bad)
+
+    def reframe(self, body: bytes) -> bytes:
+        """Re-CRC a doctored frame so only op validation can reject it."""
+        return body + _CRC.pack(zlib.crc32(body))
+
+    def test_copy_outside_parent_rejected(self):
+        parent = b"p" * 300
+        header = _DELTA_HEADER.pack(
+            b"RDLT", 1, DELTA_BLOCK, len(parent), zlib.crc32(parent),
+            10, 0, 1)
+        op = bytes([0x00]) + struct.pack("<QQ", len(parent) - 2, 10)
+        with pytest.raises(SnapshotError, match="outside its parent"):
+            apply_delta(parent, self.reframe(header + op))
+
+    def test_unknown_tag_rejected(self):
+        parent = b"p" * 300
+        header = _DELTA_HEADER.pack(
+            b"RDLT", 1, DELTA_BLOCK, len(parent), zlib.crc32(parent),
+            1, 0, 1)
+        with pytest.raises(SnapshotError, match="unknown op tag"):
+            apply_delta(parent, self.reframe(header + bytes([0x7F])))
+
+    def test_trailing_bytes_rejected(self):
+        parent, target, blob = self.make_blob()
+        body = blob[: -_CRC.size] + b"\x00" * 4
+        with pytest.raises(SnapshotError):
+            apply_delta(parent, self.reframe(body))
+
+    def test_result_mismatch_rejected(self):
+        import zlib
+
+        parent = b"payload " * 40
+        header = _DELTA_HEADER.pack(
+            b"RDLT", 1, DELTA_BLOCK, len(parent), zlib.crc32(parent),
+            4, zlib.crc32(b"good"), 1)
+        op = bytes([0x01]) + struct.pack("<Q", 4) + b"evil"
+        with pytest.raises(SnapshotError, match="checksum"):
+            apply_delta(parent, self.reframe(header + op))

@@ -270,6 +270,149 @@ class TestCheckpointManager:
         (latest.path / "a.bin").unlink()
         assert latest.read("a.bin") == b"payload"
 
+    def test_manifest_seq_must_match_directory_name(self, tmp_path):
+        """A copied/renamed checkpoint directory must not verify: its
+        manifest seq disagrees with the name load derives seq from."""
+        import shutil
+
+        manager = CheckpointManager(tmp_path)
+        first = manager.save({"a.bin": b"one"}, meta={"age": 1})
+        shutil.copytree(first.path, tmp_path / "ckpt-000009")
+        with pytest.raises(SnapshotError, match="does not match"):
+            manager.load(tmp_path / "ckpt-000009")
+        # load_latest skips the impostor and mounts the real one.
+        latest = manager.load_latest()
+        assert latest is not None and latest.seq == first.seq
+
+
+def payloads(age: int) -> dict[str, bytes]:
+    """Checkpoint-shaped files: a large mostly-stable blob plus a
+    small one, both varying with ``age``."""
+    base = bytearray(bytes(range(256)) * 64)  # 16 KB
+    base[age * 37: age * 37 + 4] = b"edit"
+    return {"state.bin": bytes(base), "meta.bin": f"age={age}".encode()}
+
+
+class TestDeltaChains:
+    def chained(self, tmp_path, *, keep=2, full_interval=3):
+        return CheckpointManager(tmp_path, keep=keep,
+                                 full_interval=full_interval)
+
+    def encodings(self, manager):
+        """[(seq, parent_seq)] for every published checkpoint."""
+        out = []
+        for seq, path in manager._published():
+            out.append((seq, manager._manifest_parent_seq(path)))
+        return out
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(ConfigError):
+            CheckpointManager(tmp_path, full_interval=0)
+        with pytest.raises(ConfigError, match="keep must be >= 2"):
+            CheckpointManager(tmp_path, keep=1, full_interval=2)
+
+    def test_cadence_and_round_trip(self, tmp_path):
+        """full_interval=3 publishes full, delta, delta, full, ... and
+        every checkpoint reads back its exact content."""
+        manager = self.chained(tmp_path, keep=10)
+        for age in range(1, 8):
+            manager.save(payloads(age), meta={"age": age})
+        links = dict(self.encodings(manager))
+        assert [links[seq] for seq in range(1, 8)] == \
+            [None, 1, 2, None, 4, 5, None]
+        for seq in range(1, 8):
+            ckpt = manager.load(tmp_path / f"ckpt-{seq:06d}")
+            assert ckpt.read("state.bin") == payloads(seq)["state.bin"]
+            assert ckpt.read("meta.bin") == payloads(seq)["meta.bin"]
+
+    def test_delta_entries_are_smaller(self, tmp_path):
+        manager = self.chained(tmp_path)
+        full = manager.save(payloads(1), meta={"age": 1})
+        delta = manager.save(payloads(2), meta={"age": 2})
+        assert delta.parent_seq == full.seq
+        entry = delta.files["state.bin"]
+        assert entry["encoding"] == "delta"
+        assert entry["bytes"] < full.files["state.bin"]["bytes"]
+        assert entry["content_bytes"] == len(payloads(2)["state.bin"])
+
+    def test_fresh_manager_continues_chain(self, tmp_path):
+        """A new process (no _last cache) deltas against what it loads."""
+        self.chained(tmp_path).save(payloads(1), meta={"age": 1})
+        second = self.chained(tmp_path).save(payloads(2), meta={"age": 2})
+        assert second.parent_seq == 1
+
+    def test_schema_change_cuts_chain(self, tmp_path):
+        manager = self.chained(tmp_path)
+        manager.save(payloads(1), meta={"schema": "v1"})
+        ckpt = manager.save(payloads(2), meta={"schema": "v2"})
+        assert ckpt.parent_seq is None
+
+    def test_retention_keeps_live_chain_ancestors(self, tmp_path):
+        """keep=2 must retain the full snapshots the retained delta
+        heads replay through, even beyond the newest ``keep``."""
+        manager = self.chained(tmp_path, keep=2, full_interval=3)
+        for age in range(1, 8):
+            manager.save(payloads(age), meta={"age": age})
+        seqs = [seq for seq, _ in manager._published()]
+        # Heads 6 (delta) and 7 (full); 6 needs 5 needs 4 (full).
+        assert seqs == [4, 5, 6, 7]
+        for seq in (6, 7):
+            ckpt = manager.load(tmp_path / f"ckpt-{seq:06d}")
+            assert ckpt.read("meta.bin") == payloads(seq)["meta.bin"]
+
+    def test_torn_delta_falls_back_to_full(self, tmp_path):
+        manager = self.chained(tmp_path, keep=4, full_interval=4)
+        for age in range(1, 4):
+            manager.save(payloads(age), meta={"age": age})
+        (tmp_path / "ckpt-000003" / "state.bin").write_bytes(b"torn")
+        latest = manager.load_latest()
+        assert latest is not None and latest.meta == {"age": 2}
+
+    def test_torn_full_breaks_dependent_deltas(self, tmp_path):
+        """Tearing the chain's base must invalidate every delta that
+        replays through it, not just the base itself."""
+        manager = self.chained(tmp_path, keep=4, full_interval=4)
+        for age in range(1, 4):
+            manager.save(payloads(age), meta={"age": age})
+        (tmp_path / "ckpt-000001" / "state.bin").write_bytes(b"torn")
+        assert manager.load_latest() is None
+
+    def test_save_after_torn_head_cuts_chain(self, tmp_path):
+        """A save whose predecessor is torn must go full rather than
+        delta against an older checkpoint (which would fork the chain)."""
+        manager = self.chained(tmp_path, keep=4, full_interval=4)
+        manager.save(payloads(1), meta={"age": 1})
+        second = manager.save(payloads(2), meta={"age": 2})
+        (second.path / "state.bin").write_bytes(b"torn")
+        manager._last = None  # a fresh process would not have the cache
+        third = manager.save(payloads(3), meta={"age": 3})
+        assert third.parent_seq is None
+        assert third.read("state.bin") == payloads(3)["state.bin"]
+
+    def test_full_interval_one_never_deltas(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3, full_interval=1)
+        for age in range(1, 4):
+            manager.save(payloads(age), meta={"age": age})
+        assert all(link is None for _, link in self.encodings(manager))
+
+    def test_version1_manifest_still_loads(self, tmp_path):
+        """Pre-delta manifests (no parent_seq/encoding keys) are valid
+        all-full checkpoints."""
+        import json
+
+        manager = CheckpointManager(tmp_path)
+        ckpt = manager.save({"a.bin": b"legacy"}, meta={"age": 1})
+        manifest = json.loads((ckpt.path / "MANIFEST.json").read_text())
+        manifest["version"] = 1
+        del manifest["parent_seq"]
+        for info in manifest["files"].values():
+            del info["encoding"]
+        (ckpt.path / "MANIFEST.json").write_text(json.dumps(manifest))
+        latest = manager.load_latest()
+        assert latest is not None and latest.read("a.bin") == b"legacy"
+
 
 class TestFsComponents:
     def test_filesystem_backend_has_one(self, file_store):

@@ -236,3 +236,40 @@ def test_event_wall_time_respects_the_makespan_envelope(sequence):
     total_clock = sum(dev.clock_s for dev in store.devices())
     assert math.isclose(store.scheduler.lane_time_s, total_clock,
                         rel_tol=1e-9, abs_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Stalls: background throttling must not bend the timeline contract
+# ----------------------------------------------------------------------
+@given(plan=st.lists(
+    st.one_of(
+        st.tuples(st.just("round"),
+                  st.floats(min_value=1e-4, max_value=0.5)),
+        st.tuples(st.just("stall"),
+                  st.floats(min_value=1e-3, max_value=5.0)),
+    ),
+    min_size=1, max_size=24))
+@settings(max_examples=60, deadline=None)
+def test_stalls_interleave_without_breaking_the_books(plan):
+    """Random stalls interleaved with poisson rounds (the shape a
+    throttled rebalance or charged checkpoint produces): conservation
+    holds — every submission completes exactly once — wall time covers
+    the sum of stalls, and after every stall the arrival cursor sits at
+    or past the charged frontier (no arrival backdates into a window
+    the submitting driver slept through)."""
+    sched = EventScheduler(2, arrival="poisson:rate=500:seed=9", depth=8)
+    stalled = 0.0
+    for kind, value in plan:
+        if kind == "round":
+            sched.record_round([value, value / 2], indices=(0, 1))
+        else:
+            sched.record_stall(value)
+            stalled += value
+            assert sched._arrival_cursor >= sched._charged - REL_EPS
+    sched.drain()
+    assert sched.submitted == sched.completed == sched.latency.count
+    assert sched.queued == 0 and sched.in_flight == 0
+    assert sched.wall_time_s >= stalled - REL_EPS * max(1.0, stalled)
+    # Two lanes: wall still covers the busiest lane's share.
+    assert sched.wall_time_s >= sched.lane_time_s / 2 \
+        - REL_EPS * max(1.0, sched.lane_time_s)

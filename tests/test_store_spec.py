@@ -118,6 +118,26 @@ class TestStoreSpec:
         with pytest.raises(ConfigError):
             StoreSpec.parse("lfs:placement=zodiac")
 
+    def test_parse_background_rates(self):
+        spec = StoreSpec.parse(
+            "lfs:shards=2,rebalance_rate=0.5,checkpoint_rate=0.25")
+        assert spec.rebalance_rate == 0.5
+        assert spec.checkpoint_rate == 0.25
+        assert spec.to_dict()["rebalance_rate"] == 0.5
+        assert spec.to_dict()["checkpoint_rate"] == 0.25
+        # checkpoint_rate=0 means uncharged (the historical model) and
+        # is valid; rebalance_rate=0 would mean "never runs" and is not.
+        assert StoreSpec.parse("lfs:checkpoint_rate=0").checkpoint_rate \
+            == 0.0
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:rebalance_rate=0")
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:rebalance_rate=1.5")
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:checkpoint_rate=1.5")
+        with pytest.raises(ConfigError):
+            StoreSpec.parse("lfs:checkpoint_rate=nope")
+
     def test_validation(self):
         with pytest.raises(ConfigError):
             StoreSpec("lfs", volume_bytes=0)
