@@ -79,9 +79,20 @@ implementations):
   on any divergence).  Reported numbers: checkpoint size and
   save/resume host time for the tiered and naive engines and a
   3-shard composite.
+* ``scenario_matrix`` — every workload (the paper's uniform churn loop
+  plus the multi-tenant scenario presets from ``repro/scenario``)
+  against every store config in a 4-shard ``queue=event`` family that
+  differs only in backend.  The winner per workload is the config
+  with the lowest final-age read p99 — the SLA view, where the
+  throughput-optimal store is not automatically the tail-optimal one.
+  The bench raises unless at least one scenario's winner differs from
+  the paper loop's winner (workload mix must matter — the point of
+  the scenario engine), and unless every scenario sample's per-tenant
+  latency counts sum to its global count (the reconciliation
+  invariant).
 
 Results go to ``BENCH_scale_volume.json`` (schema
-``bench-scale-volume/8``, documented in ``benchmarks/README.md``).
+``bench-scale-volume/9``, documented in ``benchmarks/README.md``).
 
 Usage::
 
@@ -177,9 +188,31 @@ CONTINUOUS_BURSTS = 8
 #: close to the service time and background interference stands out.
 CONTINUOUS_UTILIZATION = 0.6
 
+#: ``scenario_matrix`` sweep: store configs (backend is the only
+#: variable; every config is a 4-shard overlapped event-queue store so
+#: the read sweep yields a comparable sojourn distribution) crossed
+#: with workloads — the paper's uniform churn loop plus one spec per
+#: scenario preset.  The winner per workload is the config with the
+#: lowest final-age read p99.
+SCENARIO_MATRIX_CONFIGS = (
+    ("fs_event", "filesystem:shards=4,overlap=true,queue=event"),
+    ("db_event", "database:shards=4,overlap=true,queue=event"),
+    ("gfs_event", "gfs:shards=4,overlap=true,queue=event,chunk_size=8M"),
+    ("lfs_event", "lfs:shards=4,overlap=true,queue=event"),
+)
+SCENARIO_MATRIX_WORKLOADS = (
+    ("paper", None),
+    ("video_dvr", "video_dvr:tenants=2,seed=5"),
+    ("log_ingest", "log_ingest:tenants=3,seed=5"),
+    ("cdn_churn", "cdn_churn:tenants=4,seed=5"),
+    ("photo_sharing", "photo_sharing:tenants=4,seed=5"),
+)
+SCENARIO_MATRIX_AGES = (0.0, 1.0, 2.0)
+
 SCENARIOS = ("fs_churn", "segment_store", "batched_writes",
              "sharded_aging", "shard_skew", "degraded_aging",
-             "tail_latency", "continuous_operation", "checkpoint_resume")
+             "tail_latency", "continuous_operation", "checkpoint_resume",
+             "scenario_matrix")
 
 
 def run_volume(kind: str, volume: int, seed: int = 7) -> dict:
@@ -1048,6 +1081,103 @@ def run_checkpoint_resume(volume: int, seed: int = 23) -> list[dict]:
     return rows
 
 
+def run_scenario_matrix(volume: int, seed: int = 41) -> list[dict]:
+    """Workloads x store configs, winner = lowest final-age read p99.
+
+    The paper loop's single-tenant uniform churn picks one winner; the
+    multi-tenant scenario presets (Zipf-popular reads, TTL churn,
+    bursty tenant mixes, very different size distributions) pick their
+    own.  The bench raises unless at least one scenario's winner
+    differs from the paper loop's — if the workload mix never changed
+    the answer, the scenario engine would be measuring nothing — and
+    unless every scenario sample's per-tenant counts sum to its global
+    interval count (the reconciliation invariant the scenario suite
+    also pins).
+    """
+    from repro.core.experiment import ExperimentConfig, run_experiment
+    from repro.core.workload import ConstantSize
+    from repro.scenario.spec import ScenarioSpec
+
+    rows = []
+    winners: dict[str, str] = {}
+    for workload, scenario_text in SCENARIO_MATRIX_WORKLOADS:
+        best: tuple[str, float] | None = None
+        for config, store_text in SCENARIO_MATRIX_CONFIGS:
+            print(f"    scenario_matrix: {workload} on {config}",
+                  flush=True)
+            cfg = ExperimentConfig(
+                store=StoreSpec.parse(store_text, volume_bytes=volume),
+                sizes=(ConstantSize(AGING_OBJECT)
+                       if scenario_text is None else None),
+                scenario=(ScenarioSpec.parse(scenario_text)
+                          if scenario_text else None),
+                occupancy=0.4,
+                ages=SCENARIO_MATRIX_AGES,
+                reads_per_sample=24,
+                seed=seed,
+            )
+            result = run_experiment(cfg)
+            aged = [s for s in result.samples if s.age > 0]
+            if scenario_text is not None:
+                for sample in aged:
+                    tenant_total = sum(
+                        t["count"] for t in sample.tenant_lat.values())
+                    if tenant_total != sample.scenario_lat["count"]:
+                        raise AssertionError(
+                            f"scenario_matrix[{workload}/{config}]: "
+                            f"tenant counts ({tenant_total}) != global "
+                            f"({sample.scenario_lat['count']}) at age "
+                            f"{sample.age:.2f}")
+            last = result.samples[-1]
+            p99_ms = last.read_lat_p99_s * 1e3
+            if p99_ms <= 0:
+                raise AssertionError(
+                    f"scenario_matrix[{workload}/{config}]: event store "
+                    "reported no read-sweep p99")
+            rows.append({
+                "scenario": "scenario_matrix",
+                "workload": workload,
+                "workload_spec": (cfg.scenario.text() if cfg.scenario
+                                  else "uniform-churn"),
+                "config": config,
+                "store": store_text,
+                "volume_bytes": volume,
+                "objects": result.objects_loaded,
+                "final_age": round(last.age, 3),
+                "read_wall_mbps": round(last.read_wall_mbps / MB, 2),
+                "read_p50_ms": round(last.read_lat_p50_s * 1e3, 4),
+                "read_p99_ms": round(p99_ms, 4),
+                "churn_ops": (int(sum(s.scenario_lat.get("count", 0)
+                                      for s in aged))
+                              if scenario_text else None),
+                "tenant_p99_ms": {
+                    tenant: round(summ["p99_s"] * 1e3, 4)
+                    for tenant, summ in last.tenant_lat.items()
+                },
+                "winner": False,
+            })
+            if best is None or p99_ms < best[1]:
+                best = (config, p99_ms)
+        assert best is not None
+        winners[workload] = best[0]
+        for row in rows:
+            if (row["scenario"] == "scenario_matrix"
+                    and row["workload"] == workload):
+                row["winner"] = row["config"] == best[0]
+
+    paper_winner = winners["paper"]
+    divergent = [w for w, c in winners.items()
+                 if w != "paper" and c != paper_winner]
+    if not divergent:
+        raise AssertionError(
+            "scenario_matrix: every workload picked the paper-loop "
+            f"winner ({paper_winner}); the tenant mixes changed nothing")
+    print(f"    scenario_matrix: paper winner {paper_winner}, "
+          f"divergent: {', '.join(f'{w}->{winners[w]}' for w in divergent)}",
+          flush=True)
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -1138,6 +1268,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"... checkpoint_resume @ {resume_volume // MB} MB volume",
               flush=True)
         rows.extend(run_checkpoint_resume(resume_volume))
+    if "scenario_matrix" in scenarios:
+        matrix_volume = args.aging_volume or (
+            QUICK_AGING_VOLUME if args.quick else AGING_VOLUME)
+        print(f"... scenario_matrix @ {matrix_volume // MB} MB volume, "
+              f"{len(SCENARIO_MATRIX_WORKLOADS)} workloads x "
+              f"{len(SCENARIO_MATRIX_CONFIGS)} configs", flush=True)
+        rows.extend(run_scenario_matrix(matrix_volume))
 
     speedups: dict[str, float] = {}
     seg = {r["store"]: r for r in rows
@@ -1204,9 +1341,18 @@ def main(argv: list[str] | None = None) -> int:
         if heavy and throttled and throttled["lat_p99_ms"] > 0:
             speedups["continuous_throttle_p99_relief"] = round(
                 heavy["lat_p99_ms"] / throttled["lat_p99_ms"], 2)
+    matrix = [r for r in rows if r.get("scenario") == "scenario_matrix"]
+    if matrix:
+        matrix_winners = {r["workload"]: r["config"]
+                          for r in matrix if r["winner"]}
+        paper_winner = matrix_winners.get("paper")
+        if paper_winner:
+            speedups["scenario_matrix_divergent_winners"] = sum(
+                1 for w, c in matrix_winners.items()
+                if w != "paper" and c != paper_winner)
 
     report = {
-        "schema": "bench-scale-volume/8",
+        "schema": "bench-scale-volume/9",
         "generated_by": "benchmarks/bench_scale_volume.py",
         "python": platform.python_version(),
         "config": {
@@ -1236,6 +1382,11 @@ def main(argv: list[str] | None = None) -> int:
             "continuous_bursts": CONTINUOUS_BURSTS,
             "continuous_utilization": CONTINUOUS_UTILIZATION,
             "resume_ages": list(RESUME_AGES),
+            "scenario_matrix_configs": [c for c, _ in
+                                        SCENARIO_MATRIX_CONFIGS],
+            "scenario_matrix_workloads": [w for w, _ in
+                                          SCENARIO_MATRIX_WORKLOADS],
+            "scenario_matrix_ages": list(SCENARIO_MATRIX_AGES),
             "scenarios": list(scenarios),
         },
         "results": rows,
@@ -1336,6 +1487,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{r['config']:>8s} {r['objects']:>8d} "
                   f"{r['checkpoint_bytes'] // 1024:>8d} "
                   f"{r['resume_seconds']:>9.3f} {str(r['match']):>6s}")
+    matrix_rows = [r for r in rows
+                   if r.get("scenario") == "scenario_matrix"]
+    if matrix_rows:
+        print(f"\n{'workload':>14s} {'config':>10s} {'rd MB/s':>8s} "
+              f"{'p50 ms':>8s} {'p99 ms':>8s} {'winner':>7s}")
+        for r in matrix_rows:
+            print(f"{r['workload']:>14s} {r['config']:>10s} "
+                  f"{r['read_wall_mbps']:>8.2f} {r['read_p50_ms']:>8.2f} "
+                  f"{r['read_p99_ms']:>8.2f} "
+                  f"{'*' if r['winner'] else '':>7s}")
     if speedups:
         print("\nspeedups: " + ", ".join(
             f"{k}: {v}x" for k, v in speedups.items()))

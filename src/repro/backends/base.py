@@ -194,8 +194,17 @@ class MeasurementWindows:
             latency = getattr(self._sched_window, "latency", None)
             if latency is not None and latency.count:
                 combined.lat_count = latency.count
+                combined.lat_mean_s = latency.mean_s
                 combined.lat_p50_s = latency.percentile(50.0)
                 combined.lat_p95_s = latency.percentile(95.0)
                 combined.lat_p99_s = latency.percentile(99.0)
                 combined.lat_max_s = latency.max_s
+            # Tenant-tagged requests (scenario runs) additionally split
+            # the foreground histogram per tenant.
+            tenants = getattr(self._sched_window, "tenant_latency", None)
+            if tenants:
+                combined.tenant_lat = {
+                    tag: hist.summary()
+                    for tag, hist in sorted(tenants.items())
+                }
         return combined

@@ -12,6 +12,9 @@ Examples::
         --occupancy 0.9 --ages 0,2,4 --json results.json
     python -m repro run --volume 4G --ages 0,2,4,6,8,10 \\
         --checkpoint-dir /tmp/aging-ck            # later: add --resume
+    python -m repro run --store lfs:shards=4,overlap=true,queue=event \\
+        --scenario cdn_churn:tenants=8,skew=1.1,seed=7 \\
+        --volume 256M --ages 0,1,2               # per-tenant p50/p95/p99
     python -m repro backends
     python -m repro --list-backends
 
@@ -50,6 +53,7 @@ from repro.core.experiment import (
     run_experiment,
 )
 from repro.core.workload import ConstantSize, UniformSize
+from repro.scenario.spec import ScenarioSpec, scenario_names
 from repro.units import MB, fmt_size, parse_size
 
 
@@ -64,6 +68,10 @@ def _parse_ages(text: str) -> tuple[float, ...]:
 
 
 def _build_sizes(args: argparse.Namespace):
+    if getattr(args, "scenario", None):
+        # A scenario carries its own per-tenant size distributions; the
+        # config derives the occupancy-planning mean from the spec.
+        return None
     mean = parse_size(args.object_size)
     if args.uniform:
         return UniformSize.around_mean(mean, spread=args.spread)
@@ -94,6 +102,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", metavar="SPEC", default=None,
                         help="declarative store spec, e.g. "
                              "lfs:reorder=clook,batch=16 (see --help text)")
+    parser.add_argument("--scenario", metavar="SPEC", default=None,
+                        help="multi-tenant scenario spec, e.g. "
+                             "cdn_churn:tenants=8,skew=1.1,seed=7 "
+                             f"(presets: {', '.join(scenario_names())}); "
+                             "replaces the uniform churn loop and the "
+                             "--object-size/--uniform flags")
     parser.add_argument("--shards", type=int, default=0,
                         help="stripe the store over N sub-volumes")
     parser.add_argument("--replicas", type=int, default=0,
@@ -168,6 +182,8 @@ def _config_from(args: argparse.Namespace,
                  backend: str) -> ExperimentConfig:
     common = dict(
         sizes=_build_sizes(args),
+        scenario=(ScenarioSpec.parse(args.scenario)
+                  if args.scenario else None),
         occupancy=args.occupancy,
         ages=args.ages,
         reads_per_sample=args.reads,
@@ -228,6 +244,25 @@ def _result_table(results: dict) -> str:
         blocks.append(render_series_table(
             "Read latency percentiles (queue=event)", "age", latency,
             y_format="{:.3f}"))
+    # Scenario runs (--scenario) split each churn interval's per-request
+    # distribution by tenant; report the final sampled interval.
+    tenant_rows: list[list[object]] = []
+    for name, run in results.items():
+        last = next((s for s in reversed(run.samples) if s.tenant_lat),
+                    None)
+        if last is None:
+            continue
+        for tenant, summ in last.tenant_lat.items():
+            tenant_rows.append([
+                name, tenant, f"{last.age:g}", int(summ["count"]),
+                summ["p50_s"] * 1e3, summ["p95_s"] * 1e3,
+                summ["p99_s"] * 1e3,
+            ])
+    if tenant_rows:
+        blocks.append(render_table(
+            "Per-tenant churn latency (ms, final interval)",
+            ["store", "tenant", "age", "ops", "p50", "p95", "p99"],
+            tenant_rows))
     # Fault-tolerance counters only appear once something actually
     # degraded — healthy (or unsharded) runs print the classic tables.
     counters = (("degraded rds", "degraded_reads"), ("retries", "retries"),

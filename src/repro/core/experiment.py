@@ -52,6 +52,12 @@ from repro.persist import (
     verify_journal,
 )
 from repro.rng import substream
+from repro.scenario.engine import (
+    ScenarioState,
+    scenario_bulk_load,
+    scenario_to_age,
+)
+from repro.scenario.spec import ScenarioSpec
 from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 
 #: Manifest tag of experiment checkpoints (see ``_save_checkpoint``).
@@ -67,9 +73,15 @@ from repro.units import DEFAULT_WRITE_REQUEST, GB, fmt_size
 #: ``checkpoint_rate`` (recorded in the config dict), ShardedStore
 #: carries both as pickled attributes, and with ``checkpoint_rate > 0``
 #: each checkpoint charges its predecessor's write-back through the
-#: store's devices before pickling): older checkpoints hash differently
-#: and must be refused with a schema error, not a config mismatch.
-CHECKPOINT_SCHEMA = "run-checkpoint/6"
+#: store's devices before pickling; ``/7``: scenario engine — the
+#: config records an optional ``scenario`` spec, the payload carries a
+#: pickled :class:`~repro.scenario.engine.ScenarioState`, samples gain
+#: ``scenario_lat``/``tenant_lat``, ``WindowStats`` gains
+#: ``lat_mean_s``/``tenant_lat``, and ``EventRequest``/``EventWindow``/
+#: ``EventScheduler`` carry tenant-tag state): older checkpoints hash
+#: differently and must be refused with a schema error, not a config
+#: mismatch.
+CHECKPOINT_SCHEMA = "run-checkpoint/7"
 
 #: Every registered backend, derived from the registry — not a
 #: hand-maintained tuple.  Includes the ``sharded`` composite.
@@ -131,10 +143,21 @@ class ExperimentConfig:
     #: the sample at the loss age still sees the healthy store and the
     #: next one the degraded (or rebuilt) one.
     rebuild_ages: tuple[float, ...] = ()
+    #: Multi-tenant scenario replacing the paper's single-tenant churn
+    #: (see :mod:`repro.scenario`).  With a scenario set, ``sizes`` may
+    #: be omitted — it defaults to the scenario's share-weighted mean
+    #: object size (used only for planning labels; each tenant draws
+    #: from its own distribution).
+    scenario: ScenarioSpec | None = None
 
     def __post_init__(self) -> None:
         if self.sizes is None:
-            raise ConfigError("a size distribution is required")
+            if self.scenario is None:
+                raise ConfigError("a size distribution is required")
+            from repro.core.workload import ConstantSize
+
+            mean = max(1, round(self.scenario.mean_object_size))
+            object.__setattr__(self, "sizes", ConstantSize(mean))
         if self.store is not None:
             if self.backend and self.backend != self.store.backend:
                 raise ConfigError(
@@ -196,7 +219,9 @@ class ExperimentConfig:
         shards = self.store.shards if self.store is not None else 1
         backend = self.backend if shards <= 1 else \
             f"{self.backend}x{shards}"
-        return (f"{backend}/{self.sizes}"
+        middle = (self.scenario.text() if self.scenario is not None
+                  else str(self.sizes))
+        return (f"{backend}/{middle}"
                 f"/{fmt_size(self.volume_bytes)}@{self.occupancy:.0%}")
 
     def resolved_spec(self) -> StoreSpec:
@@ -241,6 +266,8 @@ class ExperimentConfig:
             "index_kind": self.effective_index_kind(),
             "rebalance_ages": list(self.rebalance_ages),
             "rebuild_ages": list(self.rebuild_ages),
+            "scenario": (self.scenario.to_dict()
+                         if self.scenario is not None else None),
             # The fully resolved spec (converted options, desugared
             # composite, device policy, shard layout) so a result file
             # alone attributes any ablation.
@@ -303,6 +330,10 @@ class ExperimentRunner:
     progress: object = None
     store: ObjectStore | None = None
     state: WorkloadState | None = None
+    #: Scenario-mode driver state (None for paper-loop runs); pickled
+    #: whole inside the checkpoint so resumed scenario runs replay the
+    #: identical op stream.
+    scenario_state: ScenarioState | None = None
     #: Directory for resumable checkpoints; None disables them.
     checkpoint_dir: str | Path | None = None
     #: Restore from ``checkpoint_dir`` before running (fresh run when
@@ -357,7 +388,12 @@ class ExperimentRunner:
             # Phase 0: bulk load (storage age zero).
             self._notify("bulk-load", 0.0)
             with measure(store, "bulk-load") as phase:
-                self.state = state = bulk_load(store, spec, rng)
+                if cfg.scenario is not None:
+                    self.scenario_state = scenario_bulk_load(
+                        store, spec, cfg.scenario, cfg.seed)
+                    self.state = state = self.scenario_state.workload
+                else:
+                    self.state = state = bulk_load(store, spec, rng)
                 phase.add_bytes(state.tracker.live_bytes)
             assert phase.result is not None
             result.bulk_load_write_mbps = phase.result.mbps
@@ -369,18 +405,51 @@ class ExperimentRunner:
         for target_age in cfg.ages:
             if target_age in done_ages:
                 continue
+            scenario_lat: dict = {}
+            tenant_lat: dict = {}
             if state.tracker.storage_age < target_age:
                 self._notify("churn", target_age)
-                before = state.bytes_overwritten
-                with measure(store, f"churn-to-{target_age:g}") as phase:
-                    churn_to_age(store, state, target_age)
-                    phase.add_bytes(state.bytes_overwritten - before)
-                assert phase.result is not None
-                last_write_mbps = phase.result.mbps
+                if cfg.scenario is not None:
+                    scn = self.scenario_state
+                    assert scn is not None
+                    before = scn.bytes_written
+                    with measure(store,
+                                 f"scenario-to-{target_age:g}") as phase:
+                        scenario_to_age(store, scn, target_age)
+                        phase.add_bytes(scn.bytes_written - before)
+                    assert phase.result is not None
+                    last_write_mbps = phase.result.mbps
+                    # Non-event stores: the engine timed each op itself.
+                    scenario_lat, tenant_lat = \
+                        scn.take_interval_summaries()
+                    if phase.result.tenant_lat:
+                        # Event stores: the scheduler window carries the
+                        # sojourn histograms (tagged requests), which
+                        # supersede the engine's service-time proxy.
+                        tenant_lat = phase.result.tenant_lat
+                        win = phase.result.window
+                        scenario_lat = {
+                            "count": win.lat_count,
+                            "mean_s": win.lat_mean_s,
+                            "p50_s": win.lat_p50_s,
+                            "p95_s": win.lat_p95_s,
+                            "p99_s": win.lat_p99_s,
+                            "max_s": win.lat_max_s,
+                        }
+                else:
+                    before = state.bytes_overwritten
+                    with measure(store,
+                                 f"churn-to-{target_age:g}") as phase:
+                        churn_to_age(store, state, target_age)
+                        phase.add_bytes(state.bytes_overwritten - before)
+                    assert phase.result is not None
+                    last_write_mbps = phase.result.mbps
             self._notify("sample", target_age)
             result.samples.append(
                 self._sample(store, state, target_age,
-                             last_write_mbps, read_rng)
+                             last_write_mbps, read_rng,
+                             scenario_lat=scenario_lat,
+                             tenant_lat=tenant_lat)
             )
             if target_age in cfg.rebalance_ages:
                 # Occupancy-levelling migration between shards; happens
@@ -447,6 +516,7 @@ class ExperimentRunner:
         payload = {
             "store": self.store,
             "state": self.state,
+            "scenario": self.scenario_state,
             "result": result,
             "read_rng": read_rng,
             "last_write_mbps": last_write_mbps,
@@ -494,6 +564,7 @@ class ExperimentRunner:
             verify_journal(fs.journal, ckpt.read(f"journal-{label}.bin"))
         self.store = store
         self.state = payload["state"]
+        self.scenario_state = payload["scenario"]
         # The resumed run's next save charges exactly what the
         # uninterrupted run's would have: the stored bytes of this
         # checkpoint, recomputed from its manifest.
@@ -503,7 +574,9 @@ class ExperimentRunner:
                 payload["last_write_mbps"], list(payload["done_ages"]))
 
     def _sample(self, store: ObjectStore, state: WorkloadState,
-                age: float, write_mbps: float, read_rng) -> AgeSample:
+                age: float, write_mbps: float, read_rng, *,
+                scenario_lat: dict | None = None,
+                tenant_lat: dict | None = None) -> AgeSample:
         report = fragment_report(store)
         read = measure_read_throughput(
             store, state, self.config.reads_per_sample, read_rng
@@ -533,6 +606,8 @@ class ExperimentRunner:
             read_lat_p95_s=read.lat_p95_s,
             read_lat_p99_s=read.lat_p99_s,
             read_lat_max_s=read.lat_max_s,
+            scenario_lat=dict(scenario_lat or {}),
+            tenant_lat=dict(tenant_lat or {}),
         )
 
 

@@ -61,6 +61,15 @@ class AgeSample:
     read_lat_p95_s: float = 0.0
     read_lat_p99_s: float = 0.0
     read_lat_max_s: float = 0.0
+    #: Scenario runs only: global sojourn summary of the scenario op
+    #: interval that ended at this sample (a
+    #: :meth:`~repro.disk.events.LatencyHistogram.summary` dict), and
+    #: the same split per tenant.  When every op in the interval was
+    #: tenant-tagged the per-tenant counts sum to the global count —
+    #: the reconciliation invariant the scenario suite pins.  Empty
+    #: for non-scenario runs and for the age-0 sample (no interval).
+    scenario_lat: dict[str, float] = field(default_factory=dict)
+    tenant_lat: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def row(self) -> dict[str, float]:
         return {

@@ -76,6 +76,10 @@ class PhaseResult:
         return self.window.lat_count
 
     @property
+    def lat_mean_s(self) -> float:
+        return self.window.lat_mean_s
+
+    @property
     def lat_p50_s(self) -> float:
         return self.window.lat_p50_s
 
@@ -90,6 +94,11 @@ class PhaseResult:
     @property
     def lat_max_s(self) -> float:
         return self.window.lat_max_s
+
+    @property
+    def tenant_lat(self) -> dict[str, dict[str, float]] | None:
+        """Per-tenant sojourn summaries (scenario runs; else ``None``)."""
+        return self.window.tenant_lat
 
 
 class _PhaseHandle:

@@ -56,11 +56,14 @@ class ConstantSize:
 
 @dataclass(frozen=True)
 class UniformSize:
-    """Uniform sizes on ``[lo, hi]``, rounded to 1 KB.
+    """Uniform sizes on ``[lo, hi]``, rounded to the *nearest* 1 KB.
 
     Section 5.4 compares constant 10 MB objects against "object sizes
     chosen uniformly at random with the same average size";
-    :meth:`around_mean` builds that distribution.
+    :meth:`around_mean` builds that distribution.  Rounding must be to
+    the nearest KB: flooring every draw would bias the realized mean
+    ~0.5 KB below :attr:`mean`, breaking the "same average size"
+    contract the comparison depends on.
     """
 
     lo: int
@@ -83,7 +86,7 @@ class UniformSize:
 
     def draw(self, rng: Random) -> int:
         raw = rng.randint(self.lo, self.hi)
-        return max(1 * KB, (raw // KB) * KB)
+        return max(1 * KB, (raw + KB // 2) // KB * KB)
 
     def __str__(self) -> str:
         return f"uniform({fmt_size(self.lo)}..{fmt_size(self.hi)})"
@@ -122,7 +125,18 @@ class WorkloadState:
     bytes_overwritten: int = 0
 
     def object_id_of(self, key: str) -> int:
-        return int(key.split("-")[1])
+        """Numeric object id from the key's trailing ``-<int>`` suffix.
+
+        Accepts any prefixed scheme (``object-7``, ``tenant-3-object-7``)
+        so multi-tenant key spaces share the marker machinery.
+        """
+        _prefix, sep, tail = key.rpartition("-")
+        if not sep or not tail.isascii() or not tail.isdigit():
+            raise ConfigError(
+                f"malformed object key {key!r}: expected a trailing "
+                "integer suffix such as 'object-7' or 'tenant-3-object-7'"
+            )
+        return int(tail)
 
 
 def _content_for(state: WorkloadState, key: str, size: int) -> bytes | None:
@@ -242,3 +256,13 @@ def delete_all(store: ObjectStore, state: WorkloadState) -> None:
         store.delete(key)
         state.tracker.on_delete(size)
     state.keys.clear()
+    # A key re-put after delete-all must restart its marker versions at
+    # 1; a carried-over counter would make a fresh object look like a
+    # stale resurrected one to content verification.
+    state.versions.clear()
+    if state.tracker.live_bytes != 0:
+        raise RuntimeError(
+            "delete_all books out of balance: "
+            f"{state.tracker.live_bytes} live bytes still tracked after "
+            "deleting every key"
+        )

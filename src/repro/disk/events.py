@@ -98,7 +98,8 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 from random import Random
 from dataclasses import dataclass, field
 
@@ -322,6 +323,10 @@ class EventRequest:
     complete_s: float = 0.0
     #: Driver-initiated maintenance I/O riding the background lane.
     background: bool = False
+    #: Tenant attribution tag (set via :meth:`EventScheduler.tagged`);
+    #: stamped at submit time so deferred completions credit the tenant
+    #: that issued the request, not whoever is active when it drains.
+    tag: str | None = None
 
     @property
     def sojourn_s(self) -> float:
@@ -341,6 +346,13 @@ class EventWindow(SchedulerWindow):
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     background_latency: LatencyHistogram = field(
         default_factory=LatencyHistogram)
+    #: Foreground sojourns split by tenant tag.  Tagged requests are
+    #: recorded here *and* in ``latency``, so when every foreground
+    #: request in the window carries a tag the per-tenant counts sum
+    #: exactly to ``latency.count`` (the reconciliation invariant the
+    #: scenario tests pin).
+    tenant_latency: dict[str, LatencyHistogram] = field(
+        default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -378,6 +390,10 @@ class EventScheduler(ShardScheduler):
         self.arrival = arrival
         #: Cumulative sojourn histogram across the scheduler's lifetime.
         self.latency = LatencyHistogram()
+        #: Lifetime foreground sojourns split by tenant tag.
+        self.tenant_latency: dict[str, LatencyHistogram] = {}
+        #: Active attribution tag (see :meth:`tagged`).
+        self._tag: str | None = None
         self.submitted = 0
         self.completed = 0
         #: High-water mark of any shard FIFO's length.
@@ -428,6 +444,22 @@ class EventScheduler(ShardScheduler):
         self._advance_wall(seconds)
         if self._arrival_cursor < self._charged:
             self._arrival_cursor = self._charged
+
+    @contextmanager
+    def tagged(self, tag: str) -> Iterator[None]:
+        """Attribute requests submitted inside the block to ``tag``.
+
+        The tag is stamped onto each request at submit time and travels
+        with it: a completion that drains later — under another
+        tenant's block, in a drain, at window close — still lands in
+        the submitting tenant's histogram.
+        """
+        prev = self._tag
+        self._tag = tag
+        try:
+            yield
+        finally:
+            self._tag = prev
 
     def start_window(self, name: str) -> EventWindow:
         win = EventWindow(name=name)
@@ -493,8 +525,11 @@ class EventScheduler(ShardScheduler):
         self._charged += wall
         self.submitted += len(busy)
         self.completed += len(busy)
+        # Closed rounds are synchronous: the active tag at record time
+        # is the tag of every lane in the round.
         for sojourn in completions:
-            self._record_latency(sojourn, background=background)
+            self._record_latency(sojourn, background=background,
+                                 tag=self._tag)
         return wall
 
     # ------------------------------------------------------------------
@@ -546,7 +581,7 @@ class EventScheduler(ShardScheduler):
             self._complete_one()
         req = EventRequest(shard=shard, service_s=service_s,
                            enqueue_s=enqueue_s, seq=self._seq,
-                           background=background)
+                           background=background, tag=self._tag)
         self._seq += 1
         self._queues[shard].append(req)
         self._in_flight += 1
@@ -596,7 +631,7 @@ class EventScheduler(ShardScheduler):
         self._in_flight -= 1
         self.completed += 1
         self._record_latency(complete_s - req.enqueue_s,
-                             background=req.background)
+                             background=req.background, tag=req.tag)
         if complete_s > self._charged:
             self._charge_wall(complete_s - self._charged)
         self._dispatch_ready()
@@ -635,16 +670,29 @@ class EventScheduler(ShardScheduler):
         self._charge_wall(seconds)
 
     def _record_latency(self, sojourn_s: float, *,
-                        background: bool = False) -> None:
+                        background: bool = False,
+                        tag: str | None = None) -> None:
         # The lifetime histogram keeps every completion so the books
         # (submitted == completed == latency.count) stay balanced;
         # windows split by lane so foreground percentiles stay pure.
         self.latency.record(sojourn_s)
         attr = "background_latency" if background else "latency"
+        if tag is not None and not background:
+            hist = self.tenant_latency.get(tag)
+            if hist is None:
+                hist = self.tenant_latency[tag] = LatencyHistogram()
+            hist.record(sojourn_s)
         for win in self._windows:
             lat = getattr(win, attr, None)
             if lat is not None:
                 lat.record(sojourn_s)
+            if tag is not None and not background:
+                tenants = getattr(win, "tenant_latency", None)
+                if tenants is not None:
+                    whist = tenants.get(tag)
+                    if whist is None:
+                        whist = tenants[tag] = LatencyHistogram()
+                    whist.record(sojourn_s)
 
     @property
     def queued(self) -> int:

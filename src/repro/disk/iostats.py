@@ -41,10 +41,17 @@ class WindowStats:
     #: runs an event scheduler (:mod:`repro.disk.events`); ``lat_count
     #: == 0`` means no latency model applies.
     lat_count: int = 0
+    lat_mean_s: float = 0.0
     lat_p50_s: float = 0.0
     lat_p95_s: float = 0.0
     lat_p99_s: float = 0.0
     lat_max_s: float = 0.0
+    #: Foreground sojourn summaries split by tenant tag (scenario
+    #: runs); ``None`` means nothing in the window carried a tag.  Each
+    #: entry is a :meth:`LatencyHistogram.summary` dict, and when every
+    #: foreground request was tagged the per-tenant counts sum to
+    #: ``lat_count``.
+    tenant_lat: dict[str, dict[str, float]] | None = None
 
     @property
     def total_bytes(self) -> int:

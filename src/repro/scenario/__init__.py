@@ -1,0 +1,35 @@
+"""Declarative multi-tenant scenarios (see :mod:`repro.scenario.spec`).
+
+The paper's workload is one tenant doing uniform safe-write churn; a
+production-scale store serves many tenants with skewed popularity,
+bursty arrival rates, mixed object sizes, and TTL-driven churn.  This
+package turns a spec text like ``cdn_churn:tenants=8,skew=1.1`` into an
+interleaved per-tenant op stream against a shared store, with
+per-tenant latency accounting and checkpointable state.
+"""
+
+from repro.scenario.engine import (
+    ScenarioState,
+    TenantState,
+    scenario_bulk_load,
+    scenario_step,
+    scenario_to_age,
+)
+from repro.scenario.spec import (
+    SCENARIO_PRESETS,
+    ScenarioSpec,
+    TenantProfile,
+    scenario_names,
+)
+
+__all__ = [
+    "SCENARIO_PRESETS",
+    "ScenarioSpec",
+    "ScenarioState",
+    "TenantProfile",
+    "TenantState",
+    "scenario_bulk_load",
+    "scenario_names",
+    "scenario_step",
+    "scenario_to_age",
+]

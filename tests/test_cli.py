@@ -70,6 +70,34 @@ class TestRun:
         ])
         assert code == 0
 
+    def test_scenario_prints_per_tenant_table(self, tmp_path, capsys):
+        path = tmp_path / "scn.json"
+        code = main([
+            "run", "--store", "lfs:shards=2,overlap=true,queue=event",
+            "--scenario", "cdn_churn:tenants=3,seed=5",
+            "--volume", "48M", "--occupancy", "0.4",
+            "--ages", "0,1", "--reads", "4", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-tenant churn latency" in out
+        for tenant in ("tenant-0", "tenant-1", "tenant-2"):
+            assert tenant in out
+        payload = json.loads(path.read_text())
+        assert payload["config"]["scenario"]["name"] == "cdn_churn"
+        last = payload["samples"][-1]
+        assert sum(t["count"] for t in last["tenant_lat"].values()) \
+            == last["scenario_lat"]["count"]
+
+    def test_bad_scenario_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main([
+                "run", "--backend", "filesystem",
+                "--scenario", "cdn_churn:shards=4",
+                "--volume", "48M", "--ages", "0",
+            ])
+
 
 class TestCompare:
     def test_compare_two_backends(self, tmp_path, capsys):

@@ -57,6 +57,28 @@ class TestDistributions:
         assert str(ConstantSize(256 * KB)) == "constant(256K)"
         assert "uniform" in str(UniformSize(1 * MB, 3 * MB))
 
+    def test_uniform_rounding_is_unbiased(self):
+        # Floor rounding would pull the realized mean ~0.5 KB below the
+        # declared mean; nearest-KB rounding keeps the error well under
+        # 0.1 KB over a large sample.  10k draws from a 64K..192K range
+        # have a standard error ~0.37 KB, so a 0.5 KB floor bias would
+        # show up many sigma away while nearest rounding stays within
+        # ~3 sigma of zero.
+        dist = UniformSize(64 * KB, 192 * KB)
+        rng = substream(11, "bias")
+        n = 40_000
+        total = sum(dist.draw(rng) for _ in range(n))
+        bias_kb = (total / n - dist.mean) / KB
+        assert abs(bias_kb) < 0.25, f"realized-mean bias {bias_kb:.3f} KB"
+
+    def test_uniform_rounds_to_nearest(self):
+        # lo == hi pins the raw draw, so rounding is directly visible.
+        rng = substream(12, "round")
+        assert UniformSize(10 * KB + 700, 10 * KB + 700).draw(rng) == 11 * KB
+        assert UniformSize(10 * KB + 100, 10 * KB + 100).draw(rng) == 10 * KB
+        # Sub-KB draws clamp up to the 1 KB minimum.
+        assert UniformSize(1, 1).draw(rng) == 1 * KB
+
 
 class TestBulkLoad:
     def test_reaches_target_occupancy(self, file_store):
@@ -167,6 +189,39 @@ class TestDeleteAll:
         assert file_store.store_stats().objects == 0
         assert state.tracker.deletes == n
         assert state.keys == []
+        assert state.tracker.live_bytes == 0
+
+    def test_versions_reset_for_fresh_puts(self, content_file_store):
+        # A key re-put after delete-all must restart marker versions at
+        # 1 — the old counter leaking through would disguise a stale
+        # resurrected object as fresh content.
+        spec = WorkloadSpec(sizes=ConstantSize(64 * KB),
+                            target_occupancy=0.2, with_content=True)
+        state = bulk_load(content_file_store, spec, substream(5, "w"))
+        churn_step(content_file_store, state)  # bump some version past 1
+        assert max(state.versions.values()) >= 2
+        delete_all(content_file_store, state)
+        assert state.versions == {}
+
+
+class TestObjectIdOf:
+    def _state(self):
+        from repro.core.workload import WorkloadState
+        spec = WorkloadSpec(sizes=ConstantSize(64 * KB))
+        return WorkloadState(spec=spec, rng=substream(1, "id"))
+
+    def test_parses_trailing_integer(self):
+        state = self._state()
+        assert state.object_id_of("object-7") == 7
+        assert state.object_id_of("tenant-3-object-7") == 7
+        assert state.object_id_of("t-0-object-123") == 123
+
+    def test_rejects_malformed_keys(self):
+        state = self._state()
+        for bad in ("object", "object-", "object-x", "7", "object-7x",
+                    "object-٧"):
+            with pytest.raises(ConfigError):
+                state.object_id_of(bad)
 
 
 class TestMarkerContentMode:

@@ -104,6 +104,15 @@ MANIFEST_COVERAGE: dict[str, dict] = {
         "guard": "CHECKPOINT_SCHEMA",
         "track": ["StoreSpec"],
     },
+    "src/repro/scenario/spec.py": {
+        "guard": "CHECKPOINT_SCHEMA",
+        "track": ["TenantProfile", "ScenarioSpec"],
+        "transient": ["_Preset"],
+    },
+    "src/repro/scenario/engine.py": {
+        "guard": "CHECKPOINT_SCHEMA",
+        "track": ["TenantState", "ScenarioState"],
+    },
     "src/repro/backends/costmodel.py": {
         "guard": "CHECKPOINT_SCHEMA",
         "track": ["CostModel"],
